@@ -1,0 +1,123 @@
+//! VMA-based readahead (Linux 5.4's swap readahead mode).
+//!
+//! Instead of swap-slot adjacency, VMA-based readahead prefetches pages
+//! *virtually adjacent* to the fault, within the same mapping. Virtual
+//! adjacency resembles page clustering, so it beats Fastswap's
+//! slot-order readahead on streaming workloads (§VI-E measures +3.6 %),
+//! but it is still fault-driven and pattern-blind.
+
+use hopp_kernel::{FaultInfo, PrefetchRequest, Prefetcher, SlotView};
+
+/// The VMA-based readahead policy.
+#[derive(Clone, Copy, Debug)]
+pub struct VmaReadahead {
+    /// Pages prefetched after the fault address.
+    forward: usize,
+    /// Pages prefetched before the fault address.
+    backward: usize,
+}
+
+impl Default for VmaReadahead {
+    fn default() -> Self {
+        // Linux reads a window around the fault, biased forward.
+        VmaReadahead {
+            forward: 6,
+            backward: 2,
+        }
+    }
+}
+
+impl VmaReadahead {
+    /// Creates a readahead with the default 6-forward / 2-backward
+    /// window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a readahead with an explicit window.
+    pub fn with_window(forward: usize, backward: usize) -> Self {
+        VmaReadahead { forward, backward }
+    }
+}
+
+impl Prefetcher for VmaReadahead {
+    fn name(&self) -> &str {
+        "vma"
+    }
+
+    fn on_fault(
+        &mut self,
+        fault: &FaultInfo,
+        _slots: &dyn SlotView,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        for k in 1..=self.forward as i64 {
+            if let Some(vpn) = fault.vpn.offset(k) {
+                out.push(PrefetchRequest {
+                    pid: fault.pid,
+                    vpn,
+                    inject: false,
+                });
+            }
+        }
+        for k in 1..=self.backward as i64 {
+            if let Some(vpn) = fault.vpn.offset(-k) {
+                out.push(PrefetchRequest {
+                    pid: fault.pid,
+                    vpn,
+                    inject: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopp_types::{Nanos, Pid, Vpn};
+
+    struct NoSlots;
+    impl SlotView for NoSlots {
+        fn page_at(&self, _: hopp_types::SwapSlot) -> Option<(Pid, Vpn)> {
+            None
+        }
+    }
+
+    fn fault(vpn: u64) -> FaultInfo {
+        FaultInfo {
+            pid: Pid::new(3),
+            vpn: Vpn::new(vpn),
+            now: Nanos::ZERO,
+            hit_swapcache: false,
+            slot: None,
+        }
+    }
+
+    #[test]
+    fn window_surrounds_the_fault() {
+        let mut v = VmaReadahead::with_window(2, 1);
+        let mut out = Vec::new();
+        v.on_fault(&fault(100), &NoSlots, &mut out);
+        let vpns: Vec<u64> = out.iter().map(|r| r.vpn.raw()).collect();
+        assert_eq!(vpns, vec![101, 102, 99]);
+        assert!(out.iter().all(|r| r.pid == Pid::new(3) && !r.inject));
+    }
+
+    #[test]
+    fn address_space_edges_are_clipped() {
+        let mut v = VmaReadahead::with_window(1, 3);
+        let mut out = Vec::new();
+        v.on_fault(&fault(1), &NoSlots, &mut out);
+        let vpns: Vec<u64> = out.iter().map(|r| r.vpn.raw()).collect();
+        assert_eq!(vpns, vec![2, 0], "pages below zero are skipped");
+    }
+
+    #[test]
+    fn needs_no_slot_information() {
+        let mut v = VmaReadahead::new();
+        let mut out = Vec::new();
+        v.on_fault(&fault(50), &NoSlots, &mut out);
+        assert_eq!(out.len(), 8);
+    }
+}

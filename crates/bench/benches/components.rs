@@ -1,0 +1,84 @@
+//! Component-level throughput benchmarks.
+//!
+//! These measure the hot loops of the simulation stack — the structures
+//! the paper implements in hardware (HPD, RPT cache) must sustain
+//! LLC-miss rate in the simulator, and the software side (STT,
+//! three-tier classification) must sustain the hot-page rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hopp_core::stt::{StreamTrainingTable, SttConfig};
+use hopp_core::three_tier::{ThreeTier, TierConfig};
+use hopp_hw::{HotPageDetector, HpdConfig, ReversePageTable, RptCacheConfig};
+use hopp_trace::llc::{LastLevelCache, LlcConfig};
+use hopp_types::{AccessKind, HotPage, Nanos, PageFlags, Pid, Ppn, Vpn};
+
+fn bench_llc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc");
+    group.throughput(Throughput::Elements(1));
+    let mut llc = LastLevelCache::new(LlcConfig::default_server()).unwrap();
+    let mut i = 0u64;
+    group.bench_function("access_stream", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(llc.access(Ppn::new(i % 100_000).line((i % 64) as u8), AccessKind::Read))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hpd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpd");
+    group.throughput(Throughput::Elements(1));
+    let mut hpd = HotPageDetector::new(HpdConfig::default()).unwrap();
+    let mut i = 0u64;
+    group.bench_function("on_miss", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(hpd.on_miss(Ppn::new(i / 8 % 4_096).line((i % 64) as u8), AccessKind::Read))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpt");
+    group.throughput(Throughput::Elements(1));
+    let mut rpt = ReversePageTable::new(RptCacheConfig::default()).unwrap();
+    rpt.bootstrap((0..16_384u64).map(|i| (Ppn::new(i), Pid::new(1), Vpn::new(i))));
+    let mut i = 0u64;
+    group.bench_function("lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(rpt.lookup(Ppn::new(i % 16_384)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_stt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stt");
+    group.throughput(Throughput::Elements(1));
+    let mut stt = StreamTrainingTable::new(SttConfig::default()).unwrap();
+    let mut tiers = ThreeTier::new(TierConfig::default());
+    let mut i = 0u64;
+    group.bench_function("observe_and_classify", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            // Four interleaved strided streams, as a busy app would emit.
+            let stream = i % 4;
+            let hot = HotPage {
+                pid: Pid::new(1),
+                vpn: Vpn::new(stream * 1_000_000 + (i / 4) * (stream + 1)),
+                flags: PageFlags::default(),
+                at: Nanos::from_nanos(i),
+            };
+            if let Some(window) = stt.observe(&hot) {
+                black_box(tiers.predict(&window));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llc, bench_hpd, bench_rpt, bench_stt);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! End-to-end simulation benchmarks: one representative configuration
+//! per experiment family, at reduced scale so `cargo bench` stays
+//! fast. The full-scale regeneration of every table/figure is the
+//! `experiments` binary (`cargo run --release -p hopp-bench --bin
+//! experiments -- all`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hopp_bench::experiments::{self, Scale};
+use hopp_sim::{run_workload, BaselineKind, SystemConfig};
+use hopp_workloads::WorkloadKind;
+
+const FP: u64 = 512;
+
+fn bench_fig9_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_normperf");
+    group.sample_size(10);
+    group.bench_function("kmeans_fastswap_50", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                WorkloadKind::Kmeans,
+                FP,
+                42,
+                SystemConfig::Baseline(BaselineKind::Fastswap),
+                0.5,
+            ))
+        })
+    });
+    group.bench_function("kmeans_hopp_50", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                WorkloadKind::Kmeans,
+                FP,
+                42,
+                SystemConfig::hopp_default(),
+                0.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2_hpd_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_hpd_ratio");
+    group.sample_size(10);
+    group.bench_function("kmeans_sweep", |b| {
+        b.iter(|| {
+            black_box(experiments::table2(&Scale {
+                footprint: FP,
+                spark_footprint: FP,
+                seed: 42,
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table3_rpt_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_rpt_hit");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            black_box(experiments::table3(&Scale {
+                footprint: FP,
+                spark_footprint: FP,
+                seed: 42,
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig18_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_tiers");
+    group.sample_size(10);
+    group.bench_function("mg_three_tier", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                WorkloadKind::NpbMg,
+                FP,
+                42,
+                SystemConfig::hopp_default(),
+                0.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig22_techniques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_techniques");
+    group.sample_size(10);
+    group.bench_function("microbench_suite", |b| {
+        b.iter(|| {
+            black_box(experiments::fig22(&Scale {
+                footprint: FP,
+                spark_footprint: FP,
+                seed: 42,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig9_runs,
+    bench_table2_hpd_ratio,
+    bench_table3_rpt_hit,
+    bench_fig18_tiers,
+    bench_fig22_techniques
+);
+criterion_main!(benches);

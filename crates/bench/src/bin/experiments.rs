@@ -1,0 +1,649 @@
+//! Regenerates every table and figure of the HoPP paper.
+//!
+//! ```text
+//! cargo run --release -p hopp-bench --bin experiments -- all
+//! cargo run --release -p hopp-bench --bin experiments -- fig9 fig22
+//! cargo run --release -p hopp-bench --bin experiments -- --quick all
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use hopp_bench::experiments as ex;
+use hopp_bench::format::{bar_chart, frac, pct, render_json, render_table};
+use hopp_bench::Scale;
+
+/// `--json`: emit machine-readable rows instead of aligned tables.
+static JSON_MODE: AtomicBool = AtomicBool::new(false);
+/// `--chart`: append ASCII bar charts to the key comparison figures.
+static CHART_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Renders a table or JSON depending on the output mode.
+fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    if JSON_MODE.load(Ordering::Relaxed) {
+        render_json(header, rows)
+    } else {
+        render_table(header, rows)
+    }
+}
+
+const ALL: [&str; 27] = [
+    "table2", "table3", "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "motivate", "intensity",
+    "channels", "hugepage", "markov", "reclaim", "sensitivity", "scale", "warmup", "leapwin",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if args.iter().any(|a| a == "--json") {
+        JSON_MODE.store(true, Ordering::Relaxed);
+        args.retain(|a| a != "--json");
+    }
+    if args.iter().any(|a| a == "--chart") {
+        CHART_MODE.store(true, Ordering::Relaxed);
+        args.retain(|a| a != "--chart");
+    }
+    let mut overrides: Vec<(String, u64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if (args[i] == "--seed" || args[i] == "--footprint") && i + 1 < args.len() {
+            if let Ok(v) = args[i + 1].parse::<u64>() {
+                overrides.push((args[i].clone(), v));
+                args.drain(i..=i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let mut scale = if quick { Scale::quick() } else { Scale::default() };
+    for (flag, v) in &overrides {
+        match flag.as_str() {
+            "--seed" => scale.seed = *v,
+            "--footprint" => {
+                scale.footprint = *v;
+                scale.spark_footprint = *v;
+            }
+            _ => unreachable!(),
+        }
+    }
+    if args.is_empty() {
+        eprintln!("usage: experiments [--quick] [--json] <all|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
+        std::process::exit(2);
+    }
+    let selected: Vec<String> = if args.iter().any(|a| a == "all") {
+        let mut v: Vec<String> = ALL.iter().map(|s| s.to_string()).collect();
+        v.push("hwcost".to_string());
+        v
+    } else {
+        args
+    };
+    for name in selected {
+        run(&name, &scale);
+    }
+}
+
+fn run(name: &str, scale: &Scale) {
+    match name {
+        "table2" => table2(scale),
+        "table3" => table3(scale),
+        "table5" => table5(scale),
+        "fig9" | "fig10" | "fig11" => fig9_to_11(scale, name),
+        "fig12" | "fig13" | "fig14" => fig12_to_14(scale, name),
+        "fig15" => fig15(scale),
+        "fig16" | "fig17" => fig16_17(scale, name),
+        "fig18" | "fig19" | "fig20" => fig18_20(scale, name),
+        "fig21" => fig21(scale),
+        "fig22" => fig22(scale),
+        "motivate" => motivate(scale),
+        "intensity" => intensity(scale),
+        "channels" => channels(scale),
+        "hugepage" => hugepage(scale),
+        "markov" => markov(scale),
+        "reclaim" => reclaim(scale),
+        "sensitivity" => sensitivity(scale),
+        "scale" => scale_robustness(),
+        "warmup" => warmup(scale),
+        "leapwin" => leapwin(scale),
+        "hwcost" => hwcost(),
+        other => eprintln!("unknown experiment: {other}"),
+    }
+}
+
+fn table2(scale: &Scale) {
+    println!("\n## Table II — hot pages identified / memory accesses (%), by HPD threshold N\n");
+    let data = ex::table2(scale);
+    let ns: Vec<String> = data[0].1.iter().map(|(n, _)| format!("N={n}")).collect();
+    let mut header: Vec<&str> = vec!["workload"];
+    header.extend(ns.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(kind, series)| {
+            let mut row = vec![kind.name().to_string()];
+            row.extend(series.iter().map(|(_, v)| format!("{v:.2}%")));
+            row
+        })
+        .collect();
+    print!("{}", render(&header, &rows));
+}
+
+fn table3(scale: &Scale) {
+    println!("\n## Table III — RPT cache hit rate by capacity\n");
+    let data = ex::table3(scale);
+    let sizes: Vec<String> = data[0].1.iter().map(|(k, _)| format!("{k}KB")).collect();
+    let mut header: Vec<&str> = vec!["workload"];
+    header.extend(sizes.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(kind, series)| {
+            let mut row = vec![kind.name().to_string()];
+            row.extend(series.iter().map(|(_, v)| frac(*v)));
+            row
+        })
+        .collect();
+    print!("{}", render(&header, &rows));
+}
+
+fn table5(scale: &Scale) {
+    println!("\n## Table V — DRAM bandwidth overhead of HPD writes and RPT queries (%)\n");
+    let rows: Vec<Vec<String>> = ex::table5(scale)
+        .into_iter()
+        .map(|(kind, hpd, rpt)| {
+            vec![
+                kind.name().to_string(),
+                format!("{hpd:.4}%"),
+                format!("{rpt:.5}%"),
+            ]
+        })
+        .collect();
+    print!("{}", render(&["workload", "HPD", "RPT"], &rows));
+}
+
+fn fig9_to_11(scale: &Scale, which: &str) {
+    let (half, quarter) = ex::fig9_matrix(scale);
+    match which {
+        "fig9" => {
+            println!("\n## Fig 9 — normalized performance, non-JVM workloads\n");
+            let header = ["workload", "FS@50%", "HoPP@50%", "FS@25%", "HoPP@25%"];
+            let rows: Vec<Vec<String>> = half
+                .iter()
+                .zip(&quarter)
+                .map(|(h, q)| {
+                    vec![
+                        h.workload.name().to_string(),
+                        frac(h.normalized(&h.fastswap)),
+                        frac(h.normalized(&h.hopp)),
+                        frac(q.normalized(&q.fastswap)),
+                        frac(q.normalized(&q.hopp)),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&header, &rows));
+            let avg = |f: &dyn Fn(&ex::PerfRecord) -> f64, v: &[ex::PerfRecord]| {
+                v.iter().map(f).sum::<f64>() / v.len() as f64
+            };
+            println!(
+                "avg@50%: fastswap {} hopp {} | avg@25%: fastswap {} hopp {}",
+                frac(avg(&|r| r.normalized(&r.fastswap), &half)),
+                frac(avg(&|r| r.normalized(&r.hopp), &half)),
+                frac(avg(&|r| r.normalized(&r.fastswap), &quarter)),
+                frac(avg(&|r| r.normalized(&r.hopp), &quarter)),
+            );
+            if CHART_MODE.load(Ordering::Relaxed) {
+                let mut items = Vec::new();
+                for r in &half {
+                    items.push((
+                        format!("{} (FS)", r.workload.name()),
+                        r.normalized(&r.fastswap),
+                    ));
+                    items.push((
+                        format!("{} (HoPP)", r.workload.name()),
+                        r.normalized(&r.hopp),
+                    ));
+                }
+                println!("\nnormalized performance @50% local:\n{}", bar_chart(&items, 40));
+            }
+        }
+        "fig10" => {
+            println!("\n## Fig 10 — prefetch accuracy, non-JVM workloads (50% local)\n");
+            let rows: Vec<Vec<String>> = half
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.fastswap.accuracy()),
+                        pct(r.hopp.accuracy()),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+        }
+        _ => {
+            println!("\n## Fig 11 — prefetch coverage, non-JVM workloads (50% local)\n");
+            let header = ["workload", "Fastswap", "HoPP total", "HoPP swapcache", "HoPP DRAM-hit"];
+            let rows: Vec<Vec<String>> = half
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.fastswap.coverage()),
+                        pct(r.hopp.coverage()),
+                        pct(r.hopp.coverage_swapcache()),
+                        pct(r.hopp.coverage_injected()),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&header, &rows));
+        }
+    }
+}
+
+fn fig12_to_14(scale: &Scale, which: &str) {
+    let recs = ex::fig12_matrix(scale);
+    match which {
+        "fig12" => {
+            println!("\n## Fig 12 — normalized performance, Spark workloads (1/3 local)\n");
+            let rows: Vec<Vec<String>> = recs
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        frac(r.normalized(&r.fastswap)),
+                        frac(r.normalized(&r.hopp)),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+        }
+        "fig13" => {
+            println!("\n## Fig 13 — prefetch accuracy, Spark workloads\n");
+            let rows: Vec<Vec<String>> = recs
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.fastswap.accuracy()),
+                        pct(r.hopp.accuracy()),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+        }
+        _ => {
+            println!("\n## Fig 14 — prefetch coverage, Spark workloads\n");
+            let rows: Vec<Vec<String>> = recs
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.fastswap.coverage()),
+                        pct(r.hopp.coverage()),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+        }
+    }
+}
+
+fn fig15(scale: &Scale) {
+    println!("\n## Fig 15 — per-app speedup (CT_fastswap/CT_hopp) when co-running\n");
+    let mut rows = Vec::new();
+    for (pair, speedups) in ex::fig15(scale) {
+        for (kind, s) in speedups {
+            rows.push(vec![pair.clone(), kind.name().to_string(), format!("{s:.2}x")]);
+        }
+    }
+    print!("{}", render(&["pair", "app", "speedup"], &rows));
+}
+
+fn fig16_17(scale: &Scale, which: &str) {
+    let data = ex::fig16_17(scale);
+    if which == "fig16" {
+        println!("\n## Fig 16 — normalized performance: Depth-N vs Fastswap vs HoPP (50% local)\n");
+        let header = ["workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"];
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|row| {
+                let mut cells = vec![row.workload.name().to_string()];
+                cells.extend(row.systems.iter().map(|(_, np, _)| frac(*np)));
+                cells
+            })
+            .collect();
+        print!("{}", render(&header, &rows));
+    } else {
+        println!(
+            "\n## Fig 17 — remote accesses normalized to Fastswap-without-prefetching\n"
+        );
+        let header = ["workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"];
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|row| {
+                let mut cells = vec![row.workload.name().to_string()];
+                cells.extend(row.systems.iter().map(|(_, _, rr)| frac(*rr)));
+                cells
+            })
+            .collect();
+        print!("{}", render(&header, &rows));
+    }
+}
+
+fn fig18_20(scale: &Scale, which: &str) {
+    let data = ex::fig18_20(scale);
+    match which {
+        "fig18" => {
+            println!("\n## Fig 18 — speedup over Fastswap as tiers are added\n");
+            let header = ["workload", "SSP", "SSP+LSP", "SSP+LSP+RSP"];
+            let rows: Vec<Vec<String>> = data
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.speedup[0]),
+                        pct(r.speedup[1]),
+                        pct(r.speedup[2]),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&header, &rows));
+        }
+        "fig19" => {
+            println!("\n## Fig 19 — per-tier prefetch accuracy (full system)\n");
+            let header = ["workload", "SSP", "LSP", "RSP"];
+            let rows: Vec<Vec<String>> = data
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.tier_accuracy[0]),
+                        pct(r.tier_accuracy[1]),
+                        pct(r.tier_accuracy[2]),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&header, &rows));
+        }
+        _ => {
+            println!("\n## Fig 20 — coverage contributed by each tier (full system)\n");
+            let header = ["workload", "SSP", "LSP", "RSP"];
+            let rows: Vec<Vec<String>> = data
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.name().to_string(),
+                        pct(r.tier_coverage[0]),
+                        pct(r.tier_coverage[1]),
+                        pct(r.tier_coverage[2]),
+                    ]
+                })
+                .collect();
+            print!("{}", render(&header, &rows));
+        }
+    }
+}
+
+fn fig21(scale: &Scale) {
+    println!("\n## Fig 21 — normalized performance vs (accuracy, coverage), 50% local\n");
+    let rows: Vec<Vec<String>> = ex::fig21(scale)
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.workload.name().to_string(),
+                p.system.to_string(),
+                frac(p.accuracy),
+                frac(p.coverage),
+                frac(p.normalized),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(&["workload", "system", "accuracy", "coverage", "norm-perf"], &rows)
+    );
+}
+
+fn fig22(scale: &Scale) {
+    println!("\n## Fig 22 — technique ablation on the §VI-E microbenchmark (speedup vs Fastswap)\n");
+    let rows: Vec<Vec<String>> = ex::fig22(scale)
+        .into_iter()
+        .map(|(name, s)| vec![name.to_string(), pct(s)])
+        .collect();
+    print!("{}", render(&["system", "speedup"], &rows));
+    if CHART_MODE.load(Ordering::Relaxed) {
+        let items: Vec<(String, f64)> = ex::fig22(scale)
+            .into_iter()
+            .map(|(n, s)| (n.to_string(), s))
+            .collect();
+        println!("\n{}", bar_chart(&items, 30));
+    }
+    println!("\nwith periodic 8x latency bursts (§III-E's volatility):\n");
+    let rows: Vec<Vec<String>> = ex::fig22_volatile(scale)
+        .into_iter()
+        .map(|(name, s)| vec![name.to_string(), pct(s)])
+        .collect();
+    print!("{}", render(&["system", "speedup vs Fastswap (volatile)"], &rows));
+}
+
+fn motivate(scale: &Scale) {
+    println!("\n## §II-B study — Leap vs full-trace majority prefetching (SSP-only HoPP)\n");
+    let rows: Vec<Vec<String>> = ex::motivate(scale)
+        .into_iter()
+        .map(|(kind, leap, full)| {
+            vec![
+                kind.name().to_string(),
+                pct(leap[0]),
+                pct(leap[1]),
+                pct(full[0]),
+                pct(full[1]),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &["workload", "Leap acc", "Leap cov", "full-trace acc", "full-trace cov"],
+            &rows
+        )
+    );
+}
+
+fn intensity(scale: &Scale) {
+    println!("\n## Extension — prefetch-intensity sweep (§III-E knob; 50% local)\n");
+    let mut rows = Vec::new();
+    for (kind, series) in ex::intensity_sweep(scale) {
+        for (intensity, np, cov_sc, cov_inj) in series {
+            rows.push(vec![
+                kind.name().to_string(),
+                intensity.to_string(),
+                frac(np),
+                pct(cov_sc),
+                pct(cov_inj),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render(
+            &["workload", "intensity", "norm-perf", "cov swapcache", "cov DRAM-hit"],
+            &rows
+        )
+    );
+}
+
+fn channels(scale: &Scale) {
+    println!("\n## Extension — interleaved memory channels (§III-B; per-channel N = 8/channels)\n");
+    let mut rows = Vec::new();
+    for (kind, series) in ex::channels_sweep(scale) {
+        for (ch, ratio, cov, np) in series {
+            rows.push(vec![
+                kind.name().to_string(),
+                ch.to_string(),
+                format!("{ratio:.2}%"),
+                pct(cov),
+                frac(np),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render(&["workload", "channels", "hot ratio", "coverage", "norm-perf"], &rows)
+    );
+}
+
+fn hugepage(scale: &Scale) {
+    println!("\n## Extension — huge-page batched prefetch (§IV; 512 pages per request)\n");
+    let rows: Vec<Vec<String>> = ex::hugepage_study(scale)
+        .into_iter()
+        .map(|(kind, batching, np, reads, pages)| {
+            vec![
+                kind.name().to_string(),
+                if batching { "2MB batches" } else { "page-by-page" }.to_string(),
+                frac(np),
+                reads.to_string(),
+                pages.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &["workload", "mode", "norm-perf", "rdma requests", "pages moved"],
+            &rows
+        )
+    );
+}
+
+fn markov(scale: &Scale) {
+    println!("\n## Extension — Markov trainer vs adaptive three-tier (§III-D design space)\n");
+    let mut rows = Vec::new();
+    for (kind, series) in ex::markov_study(scale) {
+        for (name, acc, cov, np) in series {
+            rows.push(vec![
+                kind.name().to_string(),
+                name.to_string(),
+                pct(acc),
+                pct(cov),
+                frac(np),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render(&["workload", "trainer", "accuracy", "coverage", "norm-perf"], &rows)
+    );
+}
+
+fn reclaim(scale: &Scale) {
+    println!("\n## Extension — trace-assisted reclaim (§IV; hot pages get a second chance)\n");
+    let mut rows = Vec::new();
+    for (kind, series) in ex::reclaim_study(scale) {
+        for (window, majors, np) in series {
+            rows.push(vec![
+                kind.name().to_string(),
+                window.to_string(),
+                majors.to_string(),
+                frac(np),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render(&["workload", "hot window", "major faults", "norm-perf"], &rows)
+    );
+}
+
+fn sensitivity(scale: &Scale) {
+    println!("\n## Extension — STT sensitivity: history L x clustering distance\n");
+    let mut rows = Vec::new();
+    for (kind, series) in ex::stt_sensitivity(scale) {
+        for (l, delta, cov, acc) in series {
+            rows.push(vec![
+                kind.name().to_string(),
+                l.to_string(),
+                delta.to_string(),
+                pct(cov),
+                pct(acc),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render(&["workload", "L", "delta", "coverage", "accuracy"], &rows)
+    );
+}
+
+fn scale_robustness() {
+    println!("\n## Extension — scale robustness of the headline comparison\n");
+    let rows: Vec<Vec<String>> = ex::scale_robustness()
+        .into_iter()
+        .map(|(fp, seed, kind, fs, hp)| {
+            vec![
+                fp.to_string(),
+                seed.to_string(),
+                kind.name().to_string(),
+                frac(fs),
+                frac(hp),
+                frac(hp / fs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &["footprint", "seed", "workload", "fastswap", "hopp", "hopp/fastswap"],
+            &rows
+        )
+    );
+}
+
+fn warmup(scale: &Scale) {
+    println!("\n## Extension — warmup: major faults per run window (§VI-E dynamics)\n");
+    let data = ex::warmup(scale);
+    let windows = data[0].1.len();
+    let labels: Vec<String> = (1..=windows).map(|w| format!("w{w}")).collect();
+    let mut header: Vec<&str> = vec!["system"];
+    header.extend(labels.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(name, w)| {
+            let mut row = vec![name.to_string()];
+            row.extend(w.iter().map(|v| v.to_string()));
+            row
+        })
+        .collect();
+    print!("{}", render(&header, &rows));
+}
+
+fn leapwin(scale: &Scale) {
+    println!("\n## Extension — Leap's adaptive prefetch window vs fixed depth\n");
+    let rows: Vec<Vec<String>> = ex::leap_window(scale)
+        .into_iter()
+        .map(|(kind, cf, ca, nf, na)| {
+            vec![
+                kind.name().to_string(),
+                pct(cf),
+                pct(ca),
+                frac(nf),
+                frac(na),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &["workload", "fixed cov", "adaptive cov", "fixed perf", "adaptive perf"],
+            &rows
+        )
+    );
+}
+
+fn hwcost() {
+    println!("\n## §VI-F — hardware cost (CACTI 3.0, 22nm)\n");
+    let rows: Vec<Vec<String>> = ex::hwcost()
+        .into_iter()
+        .map(|(name, area, power)| {
+            vec![name, format!("{area:.6} mm^2"), format!("{power:.4} mW")]
+        })
+        .collect();
+    print!("{}", render(&["module", "area", "static power"], &rows));
+}

@@ -1,0 +1,208 @@
+//! Ladder-Stream-based Prefetch (LSP) — Algorithm 1 of the paper.
+//!
+//! Ladder streams (Figure 2) have a repetitive spatial pattern: a
+//! series of concentrated accesses across streams (the *ladder tread*)
+//! followed by a larger, stable stride (the *ladder rise*). LSP checks
+//! whether the newest `M = 2` strides (the `pattern_target`) repeat
+//! earlier in the stride history. If so, the stream's future follows the
+//! spatial correlation between repetitions: the next stride of the
+//! target pattern (`stride_target`) and the page distance between
+//! pattern repetitions (`pattern_stride`) are taken as the majority
+//! over the observed candidates.
+//!
+//! Worked example (paper's Figure 2, accesses `a1..a11`): on receiving
+//! `a11` the pattern target is the strides `{a10→a11, a9→a10}`.
+//! Candidates matched in history are `{a5→a6, a6→a7}` and
+//! `{a1→a2, a2→a3}`; their next strides (`a7→a8`, `a3→a4`) vote for
+//! `stride_target`, and the distances between repetition anchor points
+//! (`a11−a7`, `a7−a3`) vote for `pattern_stride`. The page prefetched is
+//! `VPN_A + stride_target + i × pattern_stride`.
+
+use crate::stt::StreamWindow;
+
+/// LSP's output: the two strides that place the prediction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LadderPrediction {
+    /// The next stride of the target pattern.
+    pub stride_target: i64,
+    /// The page distance between successive pattern repetitions.
+    pub pattern_stride: i64,
+}
+
+/// Most frequent value; ties go to the first-seen (which, with the
+/// tail-first scan order used below, is the most recent candidate).
+fn majority(values: &[i64]) -> Option<i64> {
+    let mut best: Option<(i64, usize)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if values[..i].contains(&v) {
+            continue;
+        }
+        let count = values.iter().filter(|&&x| x == v).count();
+        if best.is_none_or(|(_, c)| count > c) {
+            best = Some((v, count));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+/// Runs Algorithm 1 on a training window.
+///
+/// Returns `None` when the newest 2-stride pattern has no earlier
+/// repetition in the window (lines 14–15 of the algorithm: both output
+/// strides zero means "no ladder found").
+pub fn predict(window: &StreamWindow) -> Option<LadderPrediction> {
+    let strides = &window.stride_history;
+    let vpns = &window.vpn_history;
+    let n = strides.len(); // == L - 1
+    if n < 4 {
+        return None;
+    }
+
+    // pattern_target: the last two strides, (strides[n-2], strides[n-1]).
+    let pattern = (strides[n - 2], strides[n - 1]);
+
+    let mut next_stride = Vec::new();
+    let mut stride_sum = Vec::new();
+    // The anchor of the target pattern is its last page: VPN_A, at
+    // vpns[n] (== vpns[L-1]).
+    let mut last_anchor = n;
+
+    // Scan from the tail so repetition distances chain backwards
+    // (a11-a7, then a7-a3, as in the worked example). A candidate at i
+    // covers strides (i, i+1) and needs a next stride at i+2, which must
+    // be strictly older than the target's own strides.
+    let mut i = n as i64 - 4;
+    while i >= 0 {
+        let idx = i as usize;
+        if (strides[idx], strides[idx + 1]) == pattern {
+            next_stride.push(strides[idx + 2]);
+            // Candidate anchor: last page of the candidate pattern.
+            let anchor = idx + 2;
+            stride_sum.push(vpns[last_anchor].stride_from(vpns[anchor]));
+            last_anchor = anchor;
+            // A pattern occurrence consumes its two strides; step past
+            // it so overlapping self-matches don't double count.
+            i -= 2;
+        } else {
+            i -= 1;
+        }
+    }
+
+    if next_stride.is_empty() {
+        return None;
+    }
+    Some(LadderPrediction {
+        stride_target: majority(&next_stride).expect("non-empty"),
+        pattern_stride: majority(&stride_sum).expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stt::{StreamId, StreamWindow};
+    use hopp_types::{Nanos, Pid, Vpn};
+
+    fn window_from_vpns(vpns: &[u64]) -> StreamWindow {
+        let vpn_history: Vec<Vpn> = vpns.iter().map(|&v| Vpn::new(v)).collect();
+        let stride_history: Vec<i64> = vpn_history
+            .windows(2)
+            .map(|w| w[1].stride_from(w[0]))
+            .collect();
+        StreamWindow {
+            stream: StreamId { slot: 0, generation: 0 },
+            pid: Pid::new(1),
+            vpn_history,
+            stride_history,
+            at: Nanos::ZERO,
+        }
+    }
+
+    /// The paper's Figure 2: treads of stride 2 (a1,a2,a3,a4), then a
+    /// rise. Pages: 0,2,4,6 then 18,20,22,24 then 36,38,40,42 ...
+    fn figure2_vpns(rungs: usize) -> Vec<u64> {
+        let mut v = Vec::new();
+        for r in 0..rungs {
+            let base = 18 * r as u64;
+            for k in 0..4 {
+                v.push(base + 2 * k);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn detects_figure_2_ladder() {
+        // Window of the last 13 accesses of 4 rungs: ends mid-tread so
+        // the newest 2 strides are (2, 2), repeated in earlier rungs.
+        let vpns = figure2_vpns(4);
+        let w = window_from_vpns(&vpns[vpns.len() - 13..]);
+        let p = predict(&w).expect("ladder found");
+        // The window ends on a rung's last page, so the candidates'
+        // next stride is the *rise* (12); repetitions are 18 apart.
+        assert_eq!(p.stride_target, 12);
+        assert_eq!(p.pattern_stride, 18);
+    }
+
+    #[test]
+    fn detects_rise_position() {
+        // End the window right at a rung boundary: newest strides
+        // (2, 12) with treads [2,2,2] and rise 12.
+        // Pages per rung: b, b+2, b+4, b+6; rise to b+18.
+        let mut vpns = Vec::new();
+        for r in 0..4u64 {
+            for k in 0..4u64 {
+                vpns.push(18 * r + 2 * k);
+            }
+        }
+        vpns.push(18 * 4); // first page of the next rung
+        let w = window_from_vpns(&vpns[vpns.len() - 14..]);
+        assert_eq!(w.stride_a(), 12);
+        let p = predict(&w).expect("ladder found");
+        // After a (2, 12) pair the tread restarts: next stride is 2, and
+        // the repetition distance is one rung (18 pages).
+        assert_eq!(p.stride_target, 2);
+        assert_eq!(p.pattern_stride, 18);
+    }
+
+    #[test]
+    fn no_repetition_means_none() {
+        // Monotone distinct strides: the newest pair never repeats.
+        let w = window_from_vpns(&[0, 1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 66, 78, 91, 105, 120]);
+        assert_eq!(predict(&w), None);
+    }
+
+    #[test]
+    fn short_window_is_rejected() {
+        let w = window_from_vpns(&[0, 2, 4, 6]);
+        assert_eq!(predict(&w), None);
+    }
+
+    #[test]
+    fn majority_vote_survives_one_distorted_rung() {
+        // Four clean rungs + one rung with a distorted tread. The
+        // distorted rung offers no pattern match, so the repetition
+        // chain skips it (one 36-page gap), but the majority vote still
+        // recovers the true rung distance of 18.
+        let vpns: Vec<u64> = vec![
+            0, 2, 4, 6, // rung 0
+            18, 20, 22, 24, // rung 1
+            36, 38, 41, 42, // rung 2 (distorted: strides 2, 3, 1)
+            54, 56, 58, 60, // rung 3
+            72, 74, 76, 78, // rung 4
+        ];
+        let w = window_from_vpns(&vpns);
+        let p = predict(&w).expect("ladder found");
+        assert_eq!(p.stride_target, 12, "next comes the rise");
+        assert_eq!(p.pattern_stride, 18, "majority beats the 36 gap");
+    }
+
+    #[test]
+    fn majority_helper() {
+        assert_eq!(majority(&[]), None);
+        assert_eq!(majority(&[5]), Some(5));
+        assert_eq!(majority(&[1, 2, 2, 3]), Some(2));
+        // Tie: first-seen wins.
+        assert_eq!(majority(&[7, 9, 7, 9]), Some(7));
+    }
+}

@@ -1,0 +1,268 @@
+//! Prefetch quality metrics — §VI-A of the paper.
+//!
+//! * **Accuracy** — page hits among prefetched pages / total prefetched
+//!   pages.
+//! * **Coverage** — prefetch hits / (remote demand requests + prefetch
+//!   hits).
+//! * **Timeliness** — the gap between a prefetched page's arrival and
+//!   its first hit.
+//!
+//! The same struct measures HoPP (arrival = PTE injection, hit = first
+//! access to the injected page) and the baselines (arrival = swapcache
+//! insert, hit = swapcache take), so every system is scored by the same
+//! definitions.
+
+use std::collections::HashMap;
+
+use hopp_types::{Nanos, Pid, Vpn};
+
+/// A rendered snapshot of the metrics (what experiments print).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MetricsReport {
+    /// Pages prefetched.
+    pub prefetched: u64,
+    /// Prefetched pages hit at least once.
+    pub prefetch_hits: u64,
+    /// Demand requests that had to go to remote memory.
+    pub demand_remote: u64,
+    /// Accuracy per the paper's definition.
+    pub accuracy: f64,
+    /// Coverage per the paper's definition.
+    pub coverage: f64,
+    /// Mean timeliness over hit prefetches.
+    pub mean_timeliness: Nanos,
+}
+
+/// Running accuracy/coverage/timeliness accounting.
+///
+/// # Example
+///
+/// ```
+/// use hopp_core::metrics::PrefetchMetrics;
+/// use hopp_types::{Nanos, Pid, Vpn};
+///
+/// let mut m = PrefetchMetrics::new();
+/// m.on_prefetch_arrival(Pid::new(1), Vpn::new(10), Nanos::from_micros(5));
+/// m.on_demand_remote();
+/// let t = m.on_first_access(Pid::new(1), Vpn::new(10), Nanos::from_micros(50));
+/// assert_eq!(t, Some(Nanos::from_micros(45)));
+/// let r = m.report();
+/// assert_eq!(r.accuracy, 1.0);
+/// assert_eq!(r.coverage, 0.5); // one hit, one demand miss
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PrefetchMetrics {
+    prefetched: u64,
+    prefetch_hits: u64,
+    demand_remote: u64,
+    pending: HashMap<(Pid, Vpn), Nanos>,
+    timeliness_sum: u128,
+    timeliness_count: u64,
+}
+
+impl PrefetchMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a prefetched page becoming available at `at`.
+    ///
+    /// Re-prefetching a page that is still pending resets its arrival
+    /// time but counts as a new prefetch (it consumed bandwidth).
+    pub fn on_prefetch_arrival(&mut self, pid: Pid, vpn: Vpn, at: Nanos) {
+        self.prefetched += 1;
+        self.pending.insert((pid, vpn), at);
+    }
+
+    /// Records the first application access to a page. If the page was
+    /// a pending prefetch this is a *prefetch hit*: returns the
+    /// timeliness `T` (access time − arrival time). Subsequent accesses
+    /// to the same page return `None`.
+    pub fn on_first_access(&mut self, pid: Pid, vpn: Vpn, at: Nanos) -> Option<Nanos> {
+        let arrival = self.pending.remove(&(pid, vpn))?;
+        self.prefetch_hits += 1;
+        let t = at.saturating_since(arrival);
+        self.timeliness_sum += u128::from(t.as_nanos());
+        self.timeliness_count += 1;
+        Some(t)
+    }
+
+    /// Records a demand request that had to fetch from remote memory
+    /// (a major fault).
+    pub fn on_demand_remote(&mut self) {
+        self.demand_remote += 1;
+    }
+
+    /// Records that a pending prefetched page was reclaimed before ever
+    /// being hit (it stays counted as prefetched but can no longer hit).
+    pub fn on_evicted_unused(&mut self, pid: Pid, vpn: Vpn) {
+        self.pending.remove(&(pid, vpn));
+    }
+
+    /// Accuracy: hits / prefetched (1.0 when nothing was prefetched, so
+    /// a disabled prefetcher doesn't read as "inaccurate").
+    pub fn accuracy(&self) -> f64 {
+        if self.prefetched == 0 {
+            1.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetched as f64
+        }
+    }
+
+    /// Coverage: hits / (remote demand requests + hits). Zero when
+    /// there was no remote traffic at all.
+    pub fn coverage(&self) -> f64 {
+        let denom = self.demand_remote + self.prefetch_hits;
+        if denom == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / denom as f64
+        }
+    }
+
+    /// Pages prefetched so far.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched
+    }
+
+    /// Prefetch hits so far.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits
+    }
+
+    /// Remote demand requests so far.
+    pub fn demand_remote(&self) -> u64 {
+        self.demand_remote
+    }
+
+    /// Prefetched pages still waiting for their first hit.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mean timeliness over all hits (zero when there were none).
+    pub fn mean_timeliness(&self) -> Nanos {
+        if self.timeliness_count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos((self.timeliness_sum / u128::from(self.timeliness_count)) as u64)
+        }
+    }
+
+    /// Snapshot for reporting.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            prefetched: self.prefetched,
+            prefetch_hits: self.prefetch_hits,
+            demand_remote: self.demand_remote,
+            accuracy: self.accuracy(),
+            coverage: self.coverage(),
+            mean_timeliness: self.mean_timeliness(),
+        }
+    }
+
+    /// Merges another metrics object into this one (multi-tier or
+    /// multi-app aggregation).
+    pub fn merge(&mut self, other: &PrefetchMetrics) {
+        self.prefetched += other.prefetched;
+        self.prefetch_hits += other.prefetch_hits;
+        self.demand_remote += other.demand_remote;
+        self.timeliness_sum += other.timeliness_sum;
+        self.timeliness_count += other.timeliness_count;
+        for (k, v) in &other.pending {
+            self.pending.insert(*k, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> (Pid, Vpn) {
+        (Pid::new(1), Vpn::new(v))
+    }
+
+    #[test]
+    fn accuracy_counts_hits_over_prefetched() {
+        let mut m = PrefetchMetrics::new();
+        for v in 0..10 {
+            let (p, vp) = key(v);
+            m.on_prefetch_arrival(p, vp, Nanos::ZERO);
+        }
+        for v in 0..9 {
+            let (p, vp) = key(v);
+            assert!(m.on_first_access(p, vp, Nanos::from_micros(1)).is_some());
+        }
+        assert!((m.accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_counts_hits_over_remote_traffic() {
+        let mut m = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        m.on_prefetch_arrival(p, v, Nanos::ZERO);
+        m.on_first_access(p, v, Nanos::from_micros(1));
+        m.on_demand_remote();
+        m.on_demand_remote();
+        m.on_demand_remote();
+        assert!((m.coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_access_is_not_a_second_hit() {
+        let mut m = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        m.on_prefetch_arrival(p, v, Nanos::ZERO);
+        assert!(m.on_first_access(p, v, Nanos::from_micros(1)).is_some());
+        assert!(m.on_first_access(p, v, Nanos::from_micros(2)).is_none());
+        assert_eq!(m.prefetch_hits(), 1);
+    }
+
+    #[test]
+    fn eviction_wastes_the_prefetch() {
+        let mut m = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        m.on_prefetch_arrival(p, v, Nanos::ZERO);
+        m.on_evicted_unused(p, v);
+        assert!(m.on_first_access(p, v, Nanos::from_micros(1)).is_none());
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn timeliness_averages_hit_gaps() {
+        let mut m = PrefetchMetrics::new();
+        for (v, arrive, hit) in [(1u64, 10u64, 30u64), (2, 20, 60)] {
+            let (p, vp) = key(v);
+            m.on_prefetch_arrival(p, vp, Nanos::from_micros(arrive));
+            m.on_first_access(p, vp, Nanos::from_micros(hit));
+        }
+        // Gaps: 20us and 40us -> mean 30us.
+        assert_eq!(m.mean_timeliness(), Nanos::from_micros(30));
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = PrefetchMetrics::new();
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.mean_timeliness(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = PrefetchMetrics::new();
+        let mut b = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        a.on_prefetch_arrival(p, v, Nanos::ZERO);
+        a.on_first_access(p, v, Nanos::from_micros(1));
+        b.on_demand_remote();
+        a.merge(&b);
+        let r = a.report();
+        assert_eq!(r.prefetch_hits, 1);
+        assert_eq!(r.demand_remote, 1);
+        assert_eq!(r.coverage, 0.5);
+    }
+}

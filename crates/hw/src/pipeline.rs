@@ -1,0 +1,261 @@
+//! The full in-MC pipeline: LLC miss → HPD → RPT → hot-page record.
+//!
+//! This is "step 1 and step 2" of the paper's Figure 4: the hot page
+//! detection module extracts hot PPNs from the miss stream and the RPT
+//! cache maps each to its `(PID, VPN)` combo, which is then written to a
+//! reserved DRAM area for software to consume. [`McPipeline`] wires the
+//! two modules together, keeps the bandwidth ledger, and exposes the
+//! kernel-facing PTE hooks.
+
+use hopp_mem::PteListener;
+use hopp_types::{AccessKind, HotPage, LineAddr, Nanos, Pid, Ppn, Result, Vpn};
+
+use crate::cost::BandwidthLedger;
+use crate::hpd::{HotPageDetector, HpdConfig};
+use crate::rpt::{ReversePageTable, RptCacheConfig};
+
+/// The modelled memory-controller pipeline.
+///
+/// # Example
+///
+/// ```
+/// use hopp_hw::{McPipeline, HpdConfig, RptCacheConfig};
+/// use hopp_mem::PteListener;
+/// use hopp_types::{AccessKind, Nanos, Pid, Ppn, Vpn};
+///
+/// let mut mc = McPipeline::new(HpdConfig::with_threshold(2), RptCacheConfig::default())?;
+/// mc.pte_set(Pid::new(1), Vpn::new(0x50), Ppn::new(4));
+/// let t = Nanos::from_nanos(10);
+/// assert!(mc.on_llc_miss(Ppn::new(4).line(0), AccessKind::Read, t).is_none());
+/// let hot = mc.on_llc_miss(Ppn::new(4).line(1), AccessKind::Read, t).unwrap();
+/// assert_eq!(hot.vpn, Vpn::new(0x50));
+/// # Ok::<(), hopp_types::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct McPipeline {
+    /// One HPD table per memory channel (§III-B: interleaved channels
+    /// each see a share of a page's cachelines, so each channel runs a
+    /// proportionally reduced threshold).
+    hpds: Vec<HotPageDetector>,
+    rpt: ReversePageTable,
+    ledger: BandwidthLedger,
+}
+
+impl McPipeline {
+    /// Builds a single-channel pipeline from the two module
+    /// configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors from either module.
+    pub fn new(hpd: HpdConfig, rpt: RptCacheConfig) -> Result<Self> {
+        Self::with_channels(hpd, rpt, 1)
+    }
+
+    /// Builds a pipeline with `channels` interleaved memory channels.
+    /// Cachelines are distributed line-interleaved; each channel's HPD
+    /// threshold is `N / channels` (min 1) so a page still becomes hot
+    /// after ~`N` total accesses. Repeated extractions of the same page
+    /// from different channels are expected — the prefetch training
+    /// framework de-duplicates them (§III-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors;
+    /// [`Error::InvalidConfig`] for zero channels.
+    ///
+    /// [`Error::InvalidConfig`]: hopp_types::Error::InvalidConfig
+    pub fn with_channels(hpd: HpdConfig, rpt: RptCacheConfig, channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(hopp_types::Error::InvalidConfig {
+                what: "memory channels",
+                constraint: "at least 1",
+            });
+        }
+        // Validate the *requested* configuration before scaling: the
+        // per-channel `.max(1)` must not silently repair an invalid
+        // threshold of 0.
+        hpd.validate()?;
+        let per_channel = HpdConfig {
+            threshold: (hpd.threshold / channels as u32).max(1),
+            ..hpd
+        };
+        Ok(McPipeline {
+            hpds: (0..channels)
+                .map(|_| HotPageDetector::new(per_channel))
+                .collect::<Result<_>>()?,
+            rpt: ReversePageTable::new(rpt)?,
+            ledger: BandwidthLedger::new(),
+        })
+    }
+
+    /// Number of modelled memory channels.
+    pub fn channels(&self) -> usize {
+        self.hpds.len()
+    }
+
+    /// Feeds one LLC miss through HPD and, if it crosses the hotness
+    /// threshold, through the RPT. Returns the resolved hot page, ready
+    /// for the prefetch training framework.
+    ///
+    /// Hot pages whose frame cannot be resolved (freed or kernel-owned)
+    /// are dropped, as the real hardware would drop them.
+    pub fn on_llc_miss(&mut self, line: LineAddr, kind: AccessKind, now: Nanos) -> Option<HotPage> {
+        self.ledger.app_misses += 1;
+        let channel = (line.raw() % self.hpds.len() as u64) as usize;
+        let ppn = self.hpds[channel].on_miss(line, kind)?;
+        let before = self.rpt.stats().dram_accesses();
+        let entry = self.rpt.lookup(ppn);
+        self.ledger.rpt_dram_accesses += self.rpt.stats().dram_accesses() - before;
+        let entry = entry?;
+        // One 8-byte record written to the reserved hot-page area.
+        self.ledger.hot_page_writes += 1;
+        Some(HotPage {
+            pid: entry.pid,
+            vpn: entry.vpn,
+            flags: entry.flags,
+            at: now,
+        })
+    }
+
+    /// Notifies the pipeline that a frame left DRAM (reclaim): its HPD
+    /// counter is dropped so a stale count cannot fire later.
+    pub fn on_page_reclaimed(&mut self, ppn: Ppn) {
+        for hpd in &mut self.hpds {
+            hpd.invalidate(ppn);
+        }
+    }
+
+    /// Bootstraps the RPT from the current frame-owner table (done once
+    /// when HoPP starts, §III-C).
+    pub fn bootstrap_rpt<I>(&mut self, owned: I)
+    where
+        I: IntoIterator<Item = (Ppn, Pid, Vpn)>,
+    {
+        self.rpt.bootstrap(owned);
+    }
+
+    /// The HPD module of channel 0 (for configuration queries).
+    pub fn hpd(&self) -> &HotPageDetector {
+        &self.hpds[0]
+    }
+
+    /// HPD counters aggregated across channels.
+    pub fn hpd_stats(&self) -> crate::hpd::HpdStats {
+        let mut total = crate::hpd::HpdStats::default();
+        for hpd in &self.hpds {
+            total.merge(hpd.stats());
+        }
+        total
+    }
+
+    /// The RPT module (for stats).
+    pub fn rpt(&self) -> &ReversePageTable {
+        &self.rpt
+    }
+
+    /// The bandwidth overhead ledger (Table V).
+    pub fn ledger(&self) -> BandwidthLedger {
+        self.ledger
+    }
+}
+
+impl PteListener for McPipeline {
+    fn pte_set(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+        self.rpt.pte_set(pid, vpn, ppn);
+    }
+    fn pte_clear(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+        self.rpt.pte_clear(pid, vpn, ppn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(n: u32) -> McPipeline {
+        McPipeline::new(HpdConfig::with_threshold(n), RptCacheConfig::default()).unwrap()
+    }
+
+    fn feed_reads(mc: &mut McPipeline, ppn: Ppn, count: u8) -> Vec<HotPage> {
+        (0..count)
+            .filter_map(|i| mc.on_llc_miss(ppn.line(i), AccessKind::Read, Nanos::from_nanos(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_hot_page_resolution() {
+        let mut mc = pipeline(4);
+        mc.pte_set(Pid::new(7), Vpn::new(0x700), Ppn::new(3));
+        let hot = feed_reads(&mut mc, Ppn::new(3), 10);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].pid, Pid::new(7));
+        assert_eq!(hot[0].vpn, Vpn::new(0x700));
+        assert_eq!(hot[0].at, Nanos::from_nanos(3));
+    }
+
+    #[test]
+    fn unresolvable_hot_pages_are_dropped() {
+        let mut mc = pipeline(2);
+        // No PTE hook ever ran for this frame.
+        let hot = feed_reads(&mut mc, Ppn::new(50), 5);
+        assert!(hot.is_empty());
+        assert_eq!(mc.ledger().hot_page_writes, 0);
+        assert_eq!(mc.rpt().stats().unresolved, 1);
+    }
+
+    #[test]
+    fn ledger_counts_traffic() {
+        let mut mc = pipeline(2);
+        mc.pte_set(Pid::new(1), Vpn::new(1), Ppn::new(1));
+        feed_reads(&mut mc, Ppn::new(1), 4);
+        let ledger = mc.ledger();
+        assert_eq!(ledger.app_misses, 4);
+        assert_eq!(ledger.hot_page_writes, 1);
+        assert!(ledger.hpd_overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_resolves_preexisting_mappings() {
+        let mut mc = pipeline(1);
+        mc.bootstrap_rpt([(Ppn::new(9), Pid::new(2), Vpn::new(0x90))]);
+        let hot = feed_reads(&mut mc, Ppn::new(9), 1);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].vpn, Vpn::new(0x90));
+    }
+
+    #[test]
+    fn channels_split_the_line_stream() {
+        let mut mc =
+            McPipeline::with_channels(HpdConfig::with_threshold(8), RptCacheConfig::default(), 4)
+                .unwrap();
+        assert_eq!(mc.channels(), 4);
+        mc.pte_set(Pid::new(1), Vpn::new(0x10), Ppn::new(4));
+        // 8 line accesses spread over 4 channels: each channel sees 2,
+        // which crosses the reduced per-channel threshold of 8/4 = 2 —
+        // so the page is extracted up to once per channel.
+        let hot = feed_reads(&mut mc, Ppn::new(4), 8);
+        assert!(!hot.is_empty());
+        assert!(hot.len() <= 4, "at most one extraction per channel");
+        assert!(hot.iter().all(|h| h.vpn == Vpn::new(0x10)));
+        assert_eq!(mc.hpd_stats().hot_pages, hot.len() as u64);
+    }
+
+    #[test]
+    fn zero_channels_is_rejected() {
+        assert!(
+            McPipeline::with_channels(HpdConfig::default(), RptCacheConfig::default(), 0).is_err()
+        );
+    }
+
+    #[test]
+    fn reclaim_invalidates_counter() {
+        let mut mc = pipeline(3);
+        mc.pte_set(Pid::new(1), Vpn::new(2), Ppn::new(2));
+        feed_reads(&mut mc, Ppn::new(2), 2);
+        mc.on_page_reclaimed(Ppn::new(2));
+        // Counter restarted: two more reads are not enough.
+        assert!(feed_reads(&mut mc, Ppn::new(2), 2).is_empty());
+        assert_eq!(feed_reads(&mut mc, Ppn::new(2), 1).len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-application memory accounting (cgroup v2 `memory.max` model).
+//!
+//! The evaluation limits each workload's local memory to a fraction of
+//! its footprint via cgroups, and co-running applications are isolated
+//! from each other the same way (Fig 15). HoPP charges its prefetched
+//! pages to the owning application's cgroup — Fastswap and Leap do not
+//! account for prefetched swapcache pages (§I), which this model also
+//! reproduces: only *charged* pages count against the limit.
+
+use hopp_types::{Error, Result};
+
+/// One application's memory controller group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cgroup {
+    limit_pages: usize,
+    charged_pages: usize,
+}
+
+impl Cgroup {
+    /// Creates a cgroup with the given page limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero limit.
+    pub fn with_limit(limit_pages: usize) -> Result<Self> {
+        if limit_pages == 0 {
+            return Err(Error::InvalidConfig {
+                what: "cgroup limit",
+                constraint: "at least one page",
+            });
+        }
+        Ok(Cgroup {
+            limit_pages,
+            charged_pages: 0,
+        })
+    }
+
+    /// The configured limit.
+    pub fn limit_pages(&self) -> usize {
+        self.limit_pages
+    }
+
+    /// Pages currently charged.
+    pub fn charged_pages(&self) -> usize {
+        self.charged_pages
+    }
+
+    /// Charges one page. Returns `true` if the group is now over its
+    /// limit (the caller must reclaim until [`Cgroup::over_limit`]
+    /// clears).
+    pub fn charge(&mut self) -> bool {
+        self.charged_pages += 1;
+        self.over_limit()
+    }
+
+    /// Releases one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on uncharging below zero — that is an
+    /// accounting bug in the caller.
+    pub fn uncharge(&mut self) {
+        debug_assert!(self.charged_pages > 0, "uncharge below zero");
+        self.charged_pages = self.charged_pages.saturating_sub(1);
+    }
+
+    /// True while usage exceeds the limit.
+    pub fn over_limit(&self) -> bool {
+        self.charged_pages > self.limit_pages
+    }
+
+    /// How many pages must be uncharged to get back under the limit.
+    pub fn excess_pages(&self) -> usize {
+        self.charged_pages.saturating_sub(self.limit_pages)
+    }
+
+    /// Pages that can still be charged before exceeding the limit.
+    pub fn headroom(&self) -> usize {
+        self.limit_pages.saturating_sub(self.charged_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_limit_is_rejected() {
+        assert!(Cgroup::with_limit(0).is_err());
+    }
+
+    #[test]
+    fn charge_until_over_limit() {
+        let mut cg = Cgroup::with_limit(2).unwrap();
+        assert!(!cg.charge());
+        assert!(!cg.charge());
+        assert_eq!(cg.headroom(), 0);
+        assert!(cg.charge(), "third page exceeds the limit");
+        assert!(cg.over_limit());
+        assert_eq!(cg.excess_pages(), 1);
+        cg.uncharge();
+        assert!(!cg.over_limit());
+        assert_eq!(cg.charged_pages(), 2);
+    }
+
+    #[test]
+    fn headroom_tracks_usage() {
+        let mut cg = Cgroup::with_limit(10).unwrap();
+        assert_eq!(cg.headroom(), 10);
+        cg.charge();
+        assert_eq!(cg.headroom(), 9);
+    }
+}

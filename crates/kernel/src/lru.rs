@@ -1,0 +1,196 @@
+//! Active/inactive LRU page lists, the kernel's reclaim order.
+//!
+//! Reclaim evicts from the tail of the *inactive* list first; pages on
+//! the *active* list survive much longer. This two-tier structure is
+//! load-bearing for the paper's Depth-N analysis (§II-C): a page whose
+//! PTE was injected eagerly is placed on the active list ("the kernel
+//! put it at the very beginning of the LRU-based page list"), so a
+//! *wrong* eager prefetch occupies precious local memory for a long
+//! time, while an unconsumed swapcache page sits on the inactive list
+//! and is cheap to drop.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hopp_types::Ppn;
+
+/// Which list a page lives on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LruTier {
+    /// Recently used (or eagerly injected) pages; reclaimed last.
+    Active,
+    /// Not-yet-proven pages (fresh swapcache fills); reclaimed first.
+    Inactive,
+}
+
+/// The two LRU lists.
+///
+/// Implemented as stamp-ordered maps: O(log n) touch/evict with exact
+/// LRU order, which is close enough to the kernel's clock-ish
+/// approximation for simulation purposes.
+///
+/// # Example
+///
+/// ```
+/// use hopp_kernel::lru::{LruLists, LruTier};
+/// use hopp_types::Ppn;
+///
+/// let mut lru = LruLists::new();
+/// lru.insert(Ppn::new(1), LruTier::Inactive);
+/// lru.insert(Ppn::new(2), LruTier::Active);
+/// // Inactive pages are evicted before active ones.
+/// assert_eq!(lru.evict_candidate(), Some(Ppn::new(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LruLists {
+    stamps: HashMap<Ppn, (u64, LruTier)>,
+    active: BTreeMap<u64, Ppn>,
+    inactive: BTreeMap<u64, Ppn>,
+    counter: u64,
+}
+
+impl LruLists {
+    /// Creates empty lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn list_mut(&mut self, tier: LruTier) -> &mut BTreeMap<u64, Ppn> {
+        match tier {
+            LruTier::Active => &mut self.active,
+            LruTier::Inactive => &mut self.inactive,
+        }
+    }
+
+    /// Adds a page to the head (most-recent end) of `tier`.
+    ///
+    /// If the page is already tracked it is moved to the head of `tier`
+    /// instead.
+    pub fn insert(&mut self, ppn: Ppn, tier: LruTier) {
+        self.remove(ppn);
+        self.counter += 1;
+        let stamp = self.counter;
+        self.list_mut(tier).insert(stamp, ppn);
+        self.stamps.insert(ppn, (stamp, tier));
+    }
+
+    /// Records a use of `ppn`, promoting it to the head of the active
+    /// list (a second touch activates an inactive page, as in Linux).
+    /// No-op for untracked pages.
+    pub fn touch(&mut self, ppn: Ppn) {
+        if self.stamps.contains_key(&ppn) {
+            self.insert(ppn, LruTier::Active);
+        }
+    }
+
+    /// Stops tracking `ppn`. Returns whether it was tracked.
+    pub fn remove(&mut self, ppn: Ppn) -> bool {
+        if let Some((stamp, tier)) = self.stamps.remove(&ppn) {
+            self.list_mut(tier).remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The page reclaim would evict next: the oldest inactive page, or
+    /// the oldest active page if the inactive list is empty. The page is
+    /// *not* removed.
+    pub fn evict_candidate(&self) -> Option<Ppn> {
+        self.inactive
+            .values()
+            .next()
+            .or_else(|| self.active.values().next())
+            .copied()
+    }
+
+    /// Removes and returns the eviction candidate.
+    pub fn pop_evict(&mut self) -> Option<Ppn> {
+        let ppn = self.evict_candidate()?;
+        self.remove(ppn);
+        Some(ppn)
+    }
+
+    /// The tier a page currently lives on.
+    pub fn tier_of(&self, ppn: Ppn) -> Option<LruTier> {
+        self.stamps.get(&ppn).map(|(_, t)| *t)
+    }
+
+    /// Total tracked pages.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Pages on the inactive list.
+    pub fn inactive_len(&self) -> usize {
+        self.inactive.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_prefers_inactive_oldest_first() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Inactive);
+        lru.insert(Ppn::new(2), LruTier::Inactive);
+        lru.insert(Ppn::new(3), LruTier::Active);
+        assert_eq!(lru.pop_evict(), Some(Ppn::new(1)));
+        assert_eq!(lru.pop_evict(), Some(Ppn::new(2)));
+        assert_eq!(lru.pop_evict(), Some(Ppn::new(3)));
+        assert_eq!(lru.pop_evict(), None);
+    }
+
+    #[test]
+    fn touch_promotes_to_active() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Inactive);
+        lru.insert(Ppn::new(2), LruTier::Inactive);
+        lru.touch(Ppn::new(1));
+        assert_eq!(lru.tier_of(Ppn::new(1)), Some(LruTier::Active));
+        // 2 is now the only inactive page, evicted first even though it
+        // was inserted after 1.
+        assert_eq!(lru.evict_candidate(), Some(Ppn::new(2)));
+    }
+
+    #[test]
+    fn touch_of_untracked_page_is_noop() {
+        let mut lru = LruLists::new();
+        lru.touch(Ppn::new(9));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn active_list_is_lru_ordered_too() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Active);
+        lru.insert(Ppn::new(2), LruTier::Active);
+        lru.touch(Ppn::new(1)); // 2 becomes the LRU active page
+        assert_eq!(lru.pop_evict(), Some(Ppn::new(2)));
+    }
+
+    #[test]
+    fn reinsert_moves_between_tiers() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Active);
+        lru.insert(Ppn::new(1), LruTier::Inactive);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.tier_of(Ppn::new(1)), Some(LruTier::Inactive));
+        assert_eq!(lru.inactive_len(), 1);
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Active);
+        assert!(lru.remove(Ppn::new(1)));
+        assert!(!lru.remove(Ppn::new(1)));
+        assert!(lru.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! The kernel's readahead interface.
+//!
+//! Kernel-based systems can only observe the application through page
+//! faults, so their prefetchers are driven from the fault path: on every
+//! swap fault the kernel hands the prefetcher a [`FaultInfo`] and the
+//! prefetcher answers with pages to pull into the swapcache (or, for
+//! Depth-N, to map eagerly). The baselines in `hopp-baselines` implement
+//! this trait.
+//!
+//! HoPP itself deliberately does *not* implement it: its training
+//! framework is fed by the hot-page trace and issues prefetches on a
+//! separate data path (see `hopp-core`), independent of fault timing —
+//! that separation is the paper's main architectural claim.
+
+use hopp_types::{Nanos, Pid, SwapSlot, Vpn};
+
+/// What the kernel knows at fault time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultInfo {
+    /// The faulting process.
+    pub pid: Pid,
+    /// The faulting page.
+    pub vpn: Vpn,
+    /// Fault time.
+    pub now: Nanos,
+    /// True if the page was found in the swapcache (a prefetch-hit);
+    /// false for a major fault that goes to the network.
+    pub hit_swapcache: bool,
+    /// The swap slot the page lives in (None on a swapcache hit whose
+    /// slot was already freed, or a first touch).
+    pub slot: Option<SwapSlot>,
+}
+
+/// Read access to the swap device's slot directory, for prefetchers
+/// that work in slot space (Fastswap).
+pub trait SlotView {
+    /// The page stored at `slot`, if any.
+    fn page_at(&self, slot: SwapSlot) -> Option<(Pid, Vpn)>;
+}
+
+/// A single page a prefetcher wants brought in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PrefetchRequest {
+    /// Owning process of the target page.
+    pub pid: Pid,
+    /// The page to fetch.
+    pub vpn: Vpn,
+    /// `false`: fill the swapcache (a later fault becomes a
+    /// prefetch-hit). `true`: eagerly inject the PTE on arrival
+    /// (Depth-N semantics, §II-C) so a later access is a plain DRAM hit.
+    pub inject: bool,
+}
+
+/// A fault-driven prefetch policy.
+///
+/// Implementations must be deterministic; any internal state (stride
+/// windows, histories) is updated by `on_fault` only.
+pub trait Prefetcher {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Called on every swap fault (major *and* prefetch-hit — Linux
+    /// readahead runs in both swap-in paths). Pushes the pages to
+    /// prefetch into `out`; the kernel dedupes against pages already
+    /// local or in flight.
+    fn on_fault(&mut self, fault: &FaultInfo, slots: &dyn SlotView, out: &mut Vec<PrefetchRequest>);
+}
+
+/// The null policy: never prefetches. The "Fastswap without
+/// prefetching" baseline of Fig 17 and the control for every ablation.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoPrefetch;
+
+impl Prefetcher for NoPrefetch {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_fault(&mut self, _: &FaultInfo, _: &dyn SlotView, _: &mut Vec<PrefetchRequest>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EmptySlots;
+    impl SlotView for EmptySlots {
+        fn page_at(&self, _: SwapSlot) -> Option<(Pid, Vpn)> {
+            None
+        }
+    }
+
+    #[test]
+    fn no_prefetch_emits_nothing() {
+        let mut p = NoPrefetch;
+        let mut out = Vec::new();
+        p.on_fault(
+            &FaultInfo {
+                pid: Pid::new(1),
+                vpn: Vpn::new(1),
+                now: Nanos::ZERO,
+                hit_swapcache: false,
+                slot: None,
+            },
+            &EmptySlots,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn prefetcher_is_object_safe() {
+        let _boxed: Box<dyn Prefetcher> = Box::new(NoPrefetch);
+    }
+}

@@ -1,0 +1,148 @@
+//! Local DRAM frame allocation and ownership tracking.
+
+use hopp_types::{Error, Pid, Ppn, Result, Vpn};
+
+/// The pool of local physical frames.
+///
+/// Besides allocation, the allocator records which `(Pid, Vpn)` owns
+/// each frame. That owner table is exactly the information the paper's
+/// reverse page table stores, and it is what the RPT is initialized from
+/// when HoPP starts (§III-C: "it traverses all existing page tables,
+/// builds the mappings from PPN to the PID+VPN combo").
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    /// Free frame indices (LIFO: recently freed frames are reused first,
+    /// which mimics the kernel's per-cpu page caches well enough).
+    free: Vec<Ppn>,
+    /// `owner[ppn] = Some((pid, vpn))` for allocated frames.
+    owner: Vec<Option<(Pid, Vpn)>>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `total` frames (frame indices
+    /// `0..total`).
+    pub fn new(total: usize) -> Self {
+        FrameAllocator {
+            // Reverse so that frame 0 is handed out first.
+            free: (0..total as u64).rev().map(Ppn::new).collect(),
+            owner: vec![None; total],
+        }
+    }
+
+    /// Total number of frames managed.
+    pub fn capacity(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of frames currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.capacity() - self.free.len()
+    }
+
+    /// Number of frames currently free.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a frame for `(pid, vpn)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfFrames`] when every frame is in use — the
+    /// caller (the kernel) is expected to reclaim first.
+    pub fn alloc(&mut self, pid: Pid, vpn: Vpn) -> Result<Ppn> {
+        let ppn = self.free.pop().ok_or(Error::OutOfFrames)?;
+        self.owner[ppn.raw() as usize] = Some((pid, vpn));
+        Ok(ppn)
+    }
+
+    /// Releases a frame back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameNotOwned`] if the frame was not allocated.
+    pub fn free(&mut self, ppn: Ppn) -> Result<()> {
+        let slot = self
+            .owner
+            .get_mut(ppn.raw() as usize)
+            .ok_or(Error::FrameNotOwned { ppn })?;
+        if slot.take().is_none() {
+            return Err(Error::FrameNotOwned { ppn });
+        }
+        self.free.push(ppn);
+        Ok(())
+    }
+
+    /// The `(pid, vpn)` that owns `ppn`, if allocated.
+    pub fn owner(&self, ppn: Ppn) -> Option<(Pid, Vpn)> {
+        self.owner.get(ppn.raw() as usize).copied().flatten()
+    }
+
+    /// Iterates over all allocated frames and their owners, in frame
+    /// order. Used to build the initial RPT.
+    pub fn iter_owned(&self) -> impl Iterator<Item = (Ppn, Pid, Vpn)> + '_ {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|(pid, vpn)| (Ppn::new(i as u64), pid, vpn)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut fa = FrameAllocator::new(2);
+        assert_eq!(fa.capacity(), 2);
+        let a = fa.alloc(Pid::new(1), Vpn::new(10)).unwrap();
+        let b = fa.alloc(Pid::new(1), Vpn::new(11)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.in_use(), 2);
+        assert!(matches!(
+            fa.alloc(Pid::new(1), Vpn::new(12)),
+            Err(Error::OutOfFrames)
+        ));
+        fa.free(a).unwrap();
+        assert_eq!(fa.available(), 1);
+        let c = fa.alloc(Pid::new(2), Vpn::new(20)).unwrap();
+        assert_eq!(c, a, "LIFO reuse of the freed frame");
+        assert_eq!(fa.owner(c), Some((Pid::new(2), Vpn::new(20))));
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut fa = FrameAllocator::new(1);
+        let a = fa.alloc(Pid::new(1), Vpn::new(1)).unwrap();
+        fa.free(a).unwrap();
+        assert!(matches!(fa.free(a), Err(Error::FrameNotOwned { .. })));
+    }
+
+    #[test]
+    fn free_of_out_of_range_frame_is_an_error() {
+        let mut fa = FrameAllocator::new(1);
+        assert!(fa.free(Ppn::new(99)).is_err());
+    }
+
+    #[test]
+    fn owner_table_tracks_allocations() {
+        let mut fa = FrameAllocator::new(4);
+        let p0 = fa.alloc(Pid::new(1), Vpn::new(100)).unwrap();
+        let p1 = fa.alloc(Pid::new(2), Vpn::new(200)).unwrap();
+        assert_eq!(fa.owner(p0), Some((Pid::new(1), Vpn::new(100))));
+        assert_eq!(fa.owner(p1), Some((Pid::new(2), Vpn::new(200))));
+        let owned: Vec<_> = fa.iter_owned().collect();
+        assert_eq!(owned.len(), 2);
+        fa.free(p0).unwrap();
+        assert_eq!(fa.owner(p0), None);
+        assert_eq!(fa.iter_owned().count(), 1);
+    }
+
+    #[test]
+    fn frame_zero_is_handed_out_first() {
+        let mut fa = FrameAllocator::new(3);
+        assert_eq!(fa.alloc(Pid::new(1), Vpn::new(0)).unwrap(), Ppn::new(0));
+        assert_eq!(fa.alloc(Pid::new(1), Vpn::new(1)).unwrap(), Ppn::new(1));
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-process page tables and the PTE-update hook interface.
+
+use std::collections::HashMap;
+
+use hopp_types::{Pid, Ppn, SwapSlot, Vpn};
+
+/// A present page-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pte {
+    /// The frame this virtual page maps to.
+    pub ppn: Ppn,
+    /// Set when the page has been written since it was faulted in; dirty
+    /// pages must be written back to the remote node on reclaim.
+    pub dirty: bool,
+}
+
+/// The state of a virtual page that the process has touched at least
+/// once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mapping {
+    /// Present in local DRAM.
+    Present(Pte),
+    /// Swapped out to the remote node at the given slot.
+    Swapped(SwapSlot),
+}
+
+/// Observer of PTE installs and clears.
+///
+/// The paper keeps the reverse page table current by hooking
+/// `set_pte_at` and `pte_clear` (§V). Any component that needs the same
+/// visibility implements this trait and is threaded through the mapping
+/// calls. The unit type implements it as a no-op for callers that do not
+/// care.
+pub trait PteListener {
+    /// A PTE for `(pid, vpn) → ppn` was installed.
+    fn pte_set(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn);
+    /// The PTE for `(pid, vpn) → ppn` was removed.
+    fn pte_clear(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn);
+}
+
+/// No-op listener.
+impl PteListener for () {
+    fn pte_set(&mut self, _: Pid, _: Vpn, _: Ppn) {}
+    fn pte_clear(&mut self, _: Pid, _: Vpn, _: Ppn) {}
+}
+
+impl<L: PteListener + ?Sized> PteListener for &mut L {
+    fn pte_set(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+        (**self).pte_set(pid, vpn, ppn)
+    }
+    fn pte_clear(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+        (**self).pte_clear(pid, vpn, ppn)
+    }
+}
+
+/// One process's page table.
+///
+/// Pages the process has never touched have no entry at all; a demand
+/// fault on such a page is a *first touch* (zero-fill) rather than a
+/// remote fetch.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    pid: Pid,
+    map: HashMap<Vpn, Mapping>,
+    resident: usize,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `pid`.
+    pub fn new(pid: Pid) -> Self {
+        AddressSpace {
+            pid,
+            map: HashMap::new(),
+            resident: 0,
+        }
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Looks up the state of a virtual page.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Mapping> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Installs a present PTE, notifying `listener`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the page is already present — the caller
+    /// must unmap first; silently remapping would leak a frame.
+    pub fn map_present<L: PteListener>(&mut self, vpn: Vpn, ppn: Ppn, listener: &mut L) {
+        let prev = self.map.insert(vpn, Mapping::Present(Pte { ppn, dirty: false }));
+        debug_assert!(
+            !matches!(prev, Some(Mapping::Present(_))),
+            "double map of {vpn:?}"
+        );
+        self.resident += 1;
+        listener.pte_set(self.pid, vpn, ppn);
+    }
+
+    /// Marks a present page dirty (a store hit). No-op for non-present
+    /// pages.
+    pub fn mark_dirty(&mut self, vpn: Vpn) {
+        if let Some(Mapping::Present(pte)) = self.map.get_mut(&vpn) {
+            pte.dirty = true;
+        }
+    }
+
+    /// Clears the PTE and records the page as swapped out to `slot`.
+    ///
+    /// Returns the PTE that was present, so the caller can free/writeback
+    /// the frame. Returns `None` (and changes nothing) if the page was
+    /// not present.
+    pub fn swap_out<L: PteListener>(
+        &mut self,
+        vpn: Vpn,
+        slot: SwapSlot,
+        listener: &mut L,
+    ) -> Option<Pte> {
+        match self.map.get(&vpn).copied() {
+            Some(Mapping::Present(pte)) => {
+                self.map.insert(vpn, Mapping::Swapped(slot));
+                self.resident -= 1;
+                listener.pte_clear(self.pid, vpn, pte.ppn);
+                Some(pte)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes a page entirely (process exit / unmap). Returns the frame
+    /// if one was present.
+    pub fn unmap<L: PteListener>(&mut self, vpn: Vpn, listener: &mut L) -> Option<Ppn> {
+        match self.map.remove(&vpn) {
+            Some(Mapping::Present(pte)) => {
+                self.resident -= 1;
+                listener.pte_clear(self.pid, vpn, pte.ppn);
+                Some(pte.ppn)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pages currently present in DRAM.
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of pages the process has ever touched (present + swapped).
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over present pages (unspecified order).
+    pub fn iter_present(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.map.iter().filter_map(|(vpn, m)| match m {
+            Mapping::Present(pte) => Some((*vpn, *pte)),
+            Mapping::Swapped(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records hook invocations for verification.
+    #[derive(Default)]
+    struct Recorder {
+        sets: Vec<(Pid, Vpn, Ppn)>,
+        clears: Vec<(Pid, Vpn, Ppn)>,
+    }
+
+    impl PteListener for Recorder {
+        fn pte_set(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+            self.sets.push((pid, vpn, ppn));
+        }
+        fn pte_clear(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+            self.clears.push((pid, vpn, ppn));
+        }
+    }
+
+    #[test]
+    fn map_lookup_swap_cycle() {
+        let mut rec = Recorder::default();
+        let mut space = AddressSpace::new(Pid::new(3));
+        let vpn = Vpn::new(0x42);
+        let ppn = Ppn::new(7);
+
+        assert_eq!(space.lookup(vpn), None);
+        space.map_present(vpn, ppn, &mut rec);
+        assert_eq!(space.resident_pages(), 1);
+        assert!(matches!(space.lookup(vpn), Some(Mapping::Present(p)) if p.ppn == ppn));
+
+        let pte = space.swap_out(vpn, SwapSlot::new(9), &mut rec).unwrap();
+        assert_eq!(pte.ppn, ppn);
+        assert_eq!(space.resident_pages(), 0);
+        assert_eq!(space.mapped_pages(), 1);
+        assert!(matches!(
+            space.lookup(vpn),
+            Some(Mapping::Swapped(s)) if s == SwapSlot::new(9)
+        ));
+
+        assert_eq!(rec.sets, vec![(Pid::new(3), vpn, ppn)]);
+        assert_eq!(rec.clears, vec![(Pid::new(3), vpn, ppn)]);
+    }
+
+    #[test]
+    fn swap_out_of_absent_page_is_none() {
+        let mut space = AddressSpace::new(Pid::new(1));
+        assert!(space.swap_out(Vpn::new(1), SwapSlot::new(0), &mut ()).is_none());
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut space = AddressSpace::new(Pid::new(1));
+        let vpn = Vpn::new(5);
+        space.map_present(vpn, Ppn::new(1), &mut ());
+        space.mark_dirty(vpn);
+        let pte = space.swap_out(vpn, SwapSlot::new(0), &mut ()).unwrap();
+        assert!(pte.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_on_swapped_page_is_noop() {
+        let mut space = AddressSpace::new(Pid::new(1));
+        let vpn = Vpn::new(5);
+        space.map_present(vpn, Ppn::new(1), &mut ());
+        space.swap_out(vpn, SwapSlot::new(0), &mut ()).unwrap();
+        space.mark_dirty(vpn); // must not panic or resurrect the mapping
+        assert!(matches!(space.lookup(vpn), Some(Mapping::Swapped(_))));
+    }
+
+    #[test]
+    fn unmap_notifies_and_forgets() {
+        let mut rec = Recorder::default();
+        let mut space = AddressSpace::new(Pid::new(2));
+        let vpn = Vpn::new(8);
+        space.map_present(vpn, Ppn::new(3), &mut rec);
+        assert_eq!(space.unmap(vpn, &mut rec), Some(Ppn::new(3)));
+        assert_eq!(space.lookup(vpn), None);
+        assert_eq!(space.mapped_pages(), 0);
+        assert_eq!(rec.clears.len(), 1);
+    }
+
+    #[test]
+    fn iter_present_skips_swapped() {
+        let mut space = AddressSpace::new(Pid::new(1));
+        space.map_present(Vpn::new(1), Ppn::new(1), &mut ());
+        space.map_present(Vpn::new(2), Ppn::new(2), &mut ());
+        space.swap_out(Vpn::new(1), SwapSlot::new(0), &mut ());
+        let present: Vec<_> = space.iter_present().map(|(v, _)| v).collect();
+        assert_eq!(present, vec![Vpn::new(2)]);
+    }
+}

@@ -1,0 +1,390 @@
+//! `hoppsim` — run a disaggregated-memory simulation from the command
+//! line.
+//!
+//! ```text
+//! hoppsim --workload kmeans --system hopp --ratio 0.5
+//! hoppsim --workload npb-mg --system depth-32 --footprint 8192
+//! hoppsim --workload microbench --system hopp --intensity 2 --channels 4
+//! hoppsim --list
+//! ```
+
+use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
+use hopp_core::{HoppConfig, MarkovConfig, TrainerKind};
+use hopp_sim::{
+    run_local, run_workload_with, BaselineKind, SimConfig, SimReport, SystemConfig,
+};
+use hopp_workloads::WorkloadKind;
+
+#[derive(Debug)]
+struct Args {
+    workload: WorkloadKind,
+    system: String,
+    ratio: f64,
+    footprint: u64,
+    seed: u64,
+    channels: usize,
+    intensity: u32,
+    huge_batch: bool,
+    markov: bool,
+    fixed_offset: Option<f64>,
+    record: Option<String>,
+    replay: Option<String>,
+    volatile: bool,
+    imprecise_lru: bool,
+    reclaim_window_ms: Option<u64>,
+    remote_capacity: Option<usize>,
+    timeline: Option<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: WorkloadKind::Kmeans,
+            system: "hopp".to_string(),
+            ratio: 0.5,
+            footprint: 4_096,
+            seed: 42,
+            channels: 1,
+            intensity: 1,
+            huge_batch: false,
+            markov: false,
+            fixed_offset: None,
+            record: None,
+            replay: None,
+            volatile: false,
+            imprecise_lru: false,
+            reclaim_window_ms: None,
+            remote_capacity: None,
+            timeline: None,
+        }
+    }
+}
+
+fn workload_by_name(name: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name) || slug(k.name()) == slug(name))
+}
+
+fn slug(s: &str) -> String {
+    s.to_ascii_lowercase().replace(['-', '_'], "")
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hoppsim [options]\n\
+         \n  --workload <name>    one of the 15 paper workloads (--list)\
+         \n  --system <name>      hopp | fastswap | leap | vma | no-prefetch | depth-<N>\
+         \n  --ratio <f>          local memory / footprint (default 0.5)\
+         \n  --footprint <pages>  heap size in 4 KB pages (default 4096)\
+         \n  --seed <n>           workload RNG seed (default 42)\
+         \n  --channels <n>       interleaved memory channels (default 1)\
+         \n  --intensity <n>      pages per hot page (hopp only, default 1)\
+         \n  --offset <i>         pin the prefetch offset (hopp only)\
+         \n  --huge-batch         enable 2 MB batched prefetch (hopp only)\
+         \n  --markov             use the Markov trainer (hopp only)\
+         \n  --record <file>      dump the workload's page trace and exit\
+         \n  --replay <file>      run the simulation from a recorded trace\
+         \n  --volatile           periodic 8x network congestion bursts\
+         \n  --imprecise-lru      fault-order LRU (no accessed-bit scans)\
+         \n  --reclaim-window <ms> trace-assisted reclaim hot window\
+         \n  --remote-capacity <pages> cap the remote memory node\
+         \n  --timeline <accesses> print fault counts per window of N accesses\
+         \n  --list               list workloads and exit"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => {
+                let v = value("--workload");
+                args.workload = workload_by_name(&v).unwrap_or_else(|| {
+                    eprintln!("unknown workload {v:?} (try --list)");
+                    usage()
+                });
+            }
+            "--system" => args.system = value("--system"),
+            "--ratio" => args.ratio = value("--ratio").parse().unwrap_or_else(|_| usage()),
+            "--footprint" => {
+                args.footprint = value("--footprint").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--channels" => args.channels = value("--channels").parse().unwrap_or_else(|_| usage()),
+            "--intensity" => {
+                args.intensity = value("--intensity").parse().unwrap_or_else(|_| usage())
+            }
+            "--offset" => {
+                args.fixed_offset = Some(value("--offset").parse().unwrap_or_else(|_| usage()))
+            }
+            "--huge-batch" => args.huge_batch = true,
+            "--markov" => args.markov = true,
+            "--record" => args.record = Some(value("--record")),
+            "--replay" => args.replay = Some(value("--replay")),
+            "--volatile" => args.volatile = true,
+            "--imprecise-lru" => args.imprecise_lru = true,
+            "--reclaim-window" => {
+                args.reclaim_window_ms =
+                    Some(value("--reclaim-window").parse().unwrap_or_else(|_| usage()))
+            }
+            "--remote-capacity" => {
+                args.remote_capacity =
+                    Some(value("--remote-capacity").parse().unwrap_or_else(|_| usage()))
+            }
+            "--timeline" => {
+                args.timeline = Some(value("--timeline").parse().unwrap_or_else(|_| usage()))
+            }
+            "--list" => {
+                println!("{:<13} {:>6} {:>5}  model", "workload", "GB", "cores");
+                for k in WorkloadKind::ALL {
+                    println!(
+                        "{:<13} {:>6} {:>5}  {}",
+                        k.name(),
+                        k.paper_footprint_gb(),
+                        k.paper_cores(),
+                        k.description()
+                    );
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn system_of(args: &Args) -> SystemConfig {
+    if let Some(depth) = args.system.strip_prefix("depth-") {
+        let n: usize = depth.parse().unwrap_or_else(|_| usage());
+        return SystemConfig::Baseline(BaselineKind::DepthN(n));
+    }
+    match args.system.as_str() {
+        "fastswap" => SystemConfig::Baseline(BaselineKind::Fastswap),
+        "leap" => SystemConfig::Baseline(BaselineKind::Leap),
+        "vma" => SystemConfig::Baseline(BaselineKind::Vma),
+        "no-prefetch" | "none" => SystemConfig::Baseline(BaselineKind::NoPrefetch),
+        "hopp" => {
+            let policy = PolicyConfig {
+                intensity: args.intensity,
+                fixed_offset: args.fixed_offset,
+                huge_batch: args.huge_batch.then(HugeBatchConfig::default),
+                ..PolicyConfig::default()
+            };
+            let trainer = if args.markov {
+                TrainerKind::Markov(MarkovConfig::default())
+            } else {
+                TrainerKind::ThreeTier
+            };
+            SystemConfig::hopp_with(HoppConfig {
+                policy,
+                trainer,
+                ..HoppConfig::default()
+            })
+        }
+        other => {
+            eprintln!("unknown system {other:?}");
+            usage();
+        }
+    }
+}
+
+fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
+    let normalized = local_ns / r.completion.as_nanos() as f64;
+    match &args.replay {
+        Some(path) => println!("workload          replay of {path}"),
+        None => println!(
+            "workload          {} ({} pages, seed {})",
+            args.workload.name(),
+            args.footprint,
+            args.seed
+        ),
+    }
+    println!("system            {} ({:.0}% local)", r.system, args.ratio * 100.0);
+    println!("completion        {}", r.completion);
+    println!("normalized perf   {normalized:.3}");
+    let c = &r.counters;
+    println!(
+        "faults            {} major, {} prefetch-hit, {} first-touch, {} in-flight waits",
+        c.major_faults, c.minor_faults, c.first_touches, c.inflight_waits
+    );
+    println!(
+        "prefetching       accuracy {:.1}%  coverage {:.1}%  (fault-path {:.1}% + hopp-injected {:.1}%)",
+        r.accuracy() * 100.0,
+        r.coverage() * 100.0,
+        r.coverage_swapcache() * 100.0,
+        r.coverage_injected() * 100.0
+    );
+    println!(
+        "network           {} reads, {} writebacks, {} MB moved",
+        r.rdma.reads,
+        r.rdma.writes,
+        r.rdma.bytes / (1024 * 1024)
+    );
+    println!(
+        "hardware          {} hot pages ({:.2}% of misses), RPT hit rate {:.1}%, HPD bw {:.3}%",
+        r.hpd.hot_pages,
+        r.hpd.hot_ratio() * 100.0,
+        r.rpt.hit_rate() * 100.0,
+        r.ledger.hpd_overhead_percent()
+    );
+    if let Some(h) = &r.hopp {
+        println!(
+            "hopp data path    {} injected, {} DRAM-hits, mean timeliness {}",
+            h.prefetched, h.prefetch_hits, h.mean_timeliness
+        );
+    }
+    if let Some(t) = &r.tier_stats {
+        println!(
+            "tier mix          SSP {}  LSP {}  RSP {}  unclassified {}",
+            t.simple, t.ladder, t.ripple, t.unclassified
+        );
+    }
+    if !r.timeline.is_empty() {
+        println!("\ntimeline (per-window major faults / prefetch-hits):");
+        let mut prev = (0u64, 0u64);
+        for (i, s) in r.timeline.iter().enumerate() {
+            println!(
+                "  w{:<3} @{:<12} major {:<6} p-hit {:<6}",
+                i + 1,
+                format!("{}", s.at),
+                s.major_faults - prev.0,
+                s.minor_faults - prev.1,
+            );
+            prev = (s.major_faults, s.minor_faults);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.record {
+        let mut stream = args
+            .workload
+            .build(hopp_types::Pid::new(1), args.footprint, args.seed);
+        let count = hopp_trace::pagefile::save_stream(path, &mut stream)
+            .unwrap_or_else(|e| {
+                eprintln!("record failed: {e}");
+                std::process::exit(1);
+            });
+        println!("recorded {count} page accesses to {path}");
+        return;
+    }
+
+    let system = system_of(&args);
+    let config = SimConfig {
+        channels: args.channels,
+        rdma: if args.volatile {
+            hopp_net::RdmaConfig::volatile()
+        } else {
+            hopp_net::RdmaConfig::default()
+        },
+        precise_lru: !args.imprecise_lru,
+        trace_assisted_reclaim: args
+            .reclaim_window_ms
+            .map(hopp_types::Nanos::from_millis),
+        remote_capacity_pages: args.remote_capacity,
+        timeline_every: args.timeline.unwrap_or(0),
+        ..SimConfig::with_system(system)
+    };
+
+    if let Some(path) = &args.replay {
+        let accesses = hopp_trace::pagefile::load_file(path).unwrap_or_else(|e| {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        });
+        let distinct: std::collections::HashSet<u64> =
+            accesses.iter().map(|a| a.vpn.raw()).collect();
+        let pid = accesses.first().map(|a| a.pid).unwrap_or(hopp_types::Pid::new(1));
+        let limit = ((distinct.len() as f64 * args.ratio).ceil() as usize).max(64);
+        println!(
+            "replaying {} accesses over {} distinct pages from {path}\n",
+            accesses.len(),
+            distinct.len()
+        );
+        let app = hopp_sim::AppSpec {
+            pid,
+            stream: Box::new(hopp_trace::TraceFileStream::new(accesses)),
+            limit_pages: limit,
+        };
+        let report = hopp_sim::Simulator::new(config, vec![app])
+            .expect("valid replay configuration")
+            .run();
+        // Normalized against an all-local replay of the same trace.
+        let local_app = hopp_sim::AppSpec {
+            pid,
+            stream: Box::new(
+                hopp_trace::TraceFileStream::open(path).expect("replay file re-opens"),
+            ),
+            limit_pages: distinct.len() + 64,
+        };
+        let local = hopp_sim::Simulator::new(
+            SimConfig::with_system(hopp_sim::SystemConfig::Baseline(
+                hopp_sim::BaselineKind::NoPrefetch,
+            )),
+            vec![local_app],
+        )
+        .expect("valid local replay configuration")
+        .run();
+        print_report(&args, local.completion.as_nanos() as f64, &report);
+        return;
+    }
+
+    let local = run_local(args.workload, args.footprint, args.seed);
+    let report = run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio);
+    print_report(&args, local.completion.as_nanos() as f64, &report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_resolve_with_any_casing() {
+        assert_eq!(workload_by_name("kmeans-omp"), Some(WorkloadKind::Kmeans));
+        assert_eq!(workload_by_name("KMEANS_OMP"), Some(WorkloadKind::Kmeans));
+        assert_eq!(workload_by_name("npb-mg"), Some(WorkloadKind::NpbMg));
+        assert_eq!(workload_by_name("npbmg"), Some(WorkloadKind::NpbMg));
+        assert_eq!(workload_by_name("GraphX-PR"), Some(WorkloadKind::GraphPr));
+        assert_eq!(workload_by_name("nope"), None);
+    }
+
+    #[test]
+    fn every_catalogue_name_resolves_to_itself() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(workload_by_name(k.name()), Some(k), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn system_parsing_covers_depth_variants() {
+        let mut args = Args {
+            system: "depth-16".to_string(),
+            ..Args::default()
+        };
+        assert!(matches!(
+            system_of(&args),
+            SystemConfig::Baseline(BaselineKind::DepthN(16))
+        ));
+        args.system = "fastswap".to_string();
+        assert!(matches!(
+            system_of(&args),
+            SystemConfig::Baseline(BaselineKind::Fastswap)
+        ));
+        args.system = "hopp".to_string();
+        assert!(matches!(system_of(&args), SystemConfig::Hopp { .. }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Run results: counters, per-app completion and the paper's metrics.
+
+use std::collections::BTreeMap;
+
+use hopp_core::metrics::MetricsReport;
+use hopp_core::three_tier::TierStats;
+use hopp_hw::{BandwidthLedger, HpdStats, RptStats};
+use hopp_net::RdmaStats;
+use hopp_trace::llc::LlcStats;
+use hopp_types::{Nanos, Pid};
+
+/// Event counters accumulated over a run.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct Counters {
+    /// Page accesses executed.
+    pub accesses: u64,
+    /// Major faults (synchronous remote reads).
+    pub major_faults: u64,
+    /// Swapcache hits (prefetch-hits, 2.3 µs each).
+    pub minor_faults: u64,
+    /// First touches (zero-fill, no remote traffic).
+    pub first_touches: u64,
+    /// Accesses served directly from DRAM (PTE present).
+    pub dram_hits: u64,
+    /// Demand faults that found their page already in flight and only
+    /// had to wait for it.
+    pub inflight_waits: u64,
+    /// Pages reclaimed (swapped out or dropped from the swapcache).
+    pub reclaimed: u64,
+    /// Dirty pages written back over RDMA during reclaim.
+    pub writebacks: u64,
+    /// Pages prefetched by the fault-path (baseline) prefetcher.
+    pub baseline_prefetches: u64,
+    /// Pages prefetched by HoPP's separate data path.
+    pub hopp_prefetches: u64,
+}
+
+impl Counters {
+    /// Total page faults of any kind.
+    pub fn faults(&self) -> u64 {
+        self.major_faults + self.minor_faults + self.first_touches + self.inflight_waits
+    }
+}
+
+/// One timeline sample: the counters' state at a point in simulated
+/// time (taken every `SimConfig::timeline_every` accesses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimelineSample {
+    /// Simulated time of the sample.
+    pub at: Nanos,
+    /// Accesses executed so far.
+    pub accesses: u64,
+    /// Major faults so far.
+    pub major_faults: u64,
+    /// Prefetch-hits (minor faults) so far.
+    pub minor_faults: u64,
+    /// HoPP pages injected so far.
+    pub hopp_injected: u64,
+}
+
+/// Per-application results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AppReport {
+    /// When the app's access stream completed.
+    pub finished_at: Nanos,
+    /// Accesses the app executed.
+    pub accesses: u64,
+    /// Its major faults.
+    pub major_faults: u64,
+    /// Its prefetch-hits.
+    pub minor_faults: u64,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Name of the system under test.
+    pub system: &'static str,
+    /// Completion time of the whole run (last app finishes).
+    pub completion: Nanos,
+    /// Per-app completions and fault counts, keyed by PID.
+    pub per_app: BTreeMap<Pid, AppReport>,
+    /// Global event counters.
+    pub counters: Counters,
+    /// Fault-path prefetcher metrics (swapcache-based accuracy and
+    /// coverage). For Depth-N this covers its injected pages.
+    pub baseline: MetricsReport,
+    /// HoPP's separate-data-path metrics, when HoPP was enabled.
+    pub hopp: Option<MetricsReport>,
+    /// HoPP per-tier metrics (SSP, LSP, RSP), when enabled.
+    pub hopp_tiers: Option<[MetricsReport; 3]>,
+    /// Tier classification counters, when enabled.
+    pub tier_stats: Option<TierStats>,
+    /// Hot page detection counters (Table II's ratio).
+    pub hpd: HpdStats,
+    /// RPT counters (Table III's hit rate).
+    pub rpt: RptStats,
+    /// DRAM bandwidth overhead ledger (Table V).
+    pub ledger: BandwidthLedger,
+    /// LLC counters.
+    pub llc: LlcStats,
+    /// RDMA link counters.
+    pub rdma: RdmaStats,
+    /// Periodic counter samples (empty unless
+    /// `SimConfig::timeline_every > 0`).
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl SimReport {
+    /// Remote page *reads* (demand + prefetch), the Fig 17 metric.
+    pub fn remote_reads(&self) -> u64 {
+        self.rdma.reads
+    }
+
+    /// Combined prefetch accuracy across the fault path and HoPP's
+    /// data path.
+    pub fn accuracy(&self) -> f64 {
+        let prefetched = self.baseline.prefetched + self.hopp.map_or(0, |h| h.prefetched);
+        let hits = self.baseline.prefetch_hits + self.hopp.map_or(0, |h| h.prefetch_hits);
+        if prefetched == 0 {
+            1.0
+        } else {
+            hits as f64 / prefetched as f64
+        }
+    }
+
+    /// Combined coverage: all prefetch hits over all remote demand
+    /// requests plus hits (§VI-A). The swapcache-hit and DRAM-hit parts
+    /// of Fig 11 are [`SimReport::coverage_swapcache`] and
+    /// [`SimReport::coverage_injected`]; this is their sum.
+    pub fn coverage(&self) -> f64 {
+        self.coverage_swapcache() + self.coverage_injected()
+    }
+
+    /// The coverage contributed by fault-path prefetches (hits still
+    /// pay the 2.3 µs prefetch-hit cost).
+    pub fn coverage_swapcache(&self) -> f64 {
+        let denom = self.coverage_denominator();
+        if denom == 0 {
+            0.0
+        } else {
+            self.baseline.prefetch_hits as f64 / denom as f64
+        }
+    }
+
+    /// The coverage contributed by HoPP's injected pages (hits are
+    /// plain DRAM hits).
+    pub fn coverage_injected(&self) -> f64 {
+        let denom = self.coverage_denominator();
+        if denom == 0 {
+            0.0
+        } else {
+            self.hopp.map_or(0, |h| h.prefetch_hits) as f64 / denom as f64
+        }
+    }
+
+    fn coverage_denominator(&self) -> u64 {
+        self.counters.major_faults
+            + self.baseline.prefetch_hits
+            + self.hopp.map_or(0, |h| h.prefetch_hits)
+    }
+
+    /// Completion time of one app.
+    pub fn app_completion(&self, pid: Pid) -> Option<Nanos> {
+        self.per_app.get(&pid).map(|a| a.finished_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> SimReport {
+        SimReport {
+            system: "test",
+            completion: Nanos::ZERO,
+            per_app: BTreeMap::new(),
+            counters: Counters::default(),
+            baseline: MetricsReport {
+                prefetched: 0,
+                prefetch_hits: 0,
+                demand_remote: 0,
+                accuracy: 1.0,
+                coverage: 0.0,
+                mean_timeliness: Nanos::ZERO,
+            },
+            hopp: None,
+            hopp_tiers: None,
+            tier_stats: None,
+            hpd: HpdStats::default(),
+            rpt: RptStats::default(),
+            ledger: BandwidthLedger::default(),
+            llc: LlcStats::default(),
+            rdma: RdmaStats::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_report_metrics_are_benign() {
+        let r = empty_report();
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.remote_reads(), 0);
+        assert_eq!(r.counters.faults(), 0);
+    }
+
+    #[test]
+    fn coverage_splits_sum() {
+        let mut r = empty_report();
+        r.counters.major_faults = 10;
+        r.baseline = MetricsReport {
+            prefetched: 20,
+            prefetch_hits: 5,
+            demand_remote: 10,
+            accuracy: 0.25,
+            coverage: 0.0,
+            mean_timeliness: Nanos::ZERO,
+        };
+        r.hopp = Some(MetricsReport {
+            prefetched: 40,
+            prefetch_hits: 35,
+            demand_remote: 10,
+            accuracy: 0.875,
+            coverage: 0.0,
+            mean_timeliness: Nanos::ZERO,
+        });
+        // denom = 10 + 5 + 35 = 50
+        assert!((r.coverage_swapcache() - 0.1).abs() < 1e-12);
+        assert!((r.coverage_injected() - 0.7).abs() < 1e-12);
+        assert!((r.coverage() - 0.8).abs() < 1e-12);
+        // accuracy = 40 hits / 60 prefetched
+        assert!((r.accuracy() - 40.0 / 60.0).abs() < 1e-12);
+    }
+}

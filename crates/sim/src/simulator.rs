@@ -1,0 +1,1055 @@
+//! The event loop: one simulated compute node, its kernel, the MC
+//! hardware pipeline and a remote memory node behind an RDMA link.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hopp_core::exec::ExecutionEngine;
+use hopp_core::metrics::PrefetchMetrics;
+use hopp_core::three_tier::Tier;
+use hopp_core::HoppEngine;
+use hopp_hw::McPipeline;
+use hopp_kernel::swapcache::CacheFill;
+use hopp_kernel::{Cgroup, FaultInfo, LruLists, LruTier, Prefetcher, SwapCache, SwapDevice};
+use hopp_mem::{AddressSpace, FrameAllocator, Mapping};
+use hopp_net::{CompletionQueue, RdmaEngine};
+use hopp_trace::patterns::AccessStream;
+use hopp_trace::LastLevelCache;
+use hopp_types::{Error, Nanos, PageAccess, Pid, Ppn, Result, Vpn};
+
+use crate::config::{AppSpec, SimConfig, SystemConfig};
+use crate::report::{AppReport, Counters, SimReport, TimelineSample};
+
+/// A fault-path prefetch in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct BaseArrival {
+    pid: Pid,
+    vpn: Vpn,
+    inject: bool,
+}
+
+/// HoPP's runtime state (present only when the system includes HoPP).
+struct HoppRuntime {
+    engine: HoppEngine,
+    exec: ExecutionEngine,
+    /// Injected pages awaiting their first hit: routes timeliness
+    /// feedback and per-tier accounting.
+    injected: HashMap<(Pid, Vpn), (hopp_core::StreamId, Tier)>,
+    metrics: PrefetchMetrics,
+    tier_metrics: [PrefetchMetrics; 3],
+}
+
+fn tier_index(tier: Tier) -> usize {
+    match tier {
+        Tier::Simple => 0,
+        Tier::Ladder => 1,
+        Tier::Ripple => 2,
+    }
+}
+
+struct AppRuntime {
+    stream: Box<dyn AccessStream>,
+    finished_at: Option<Nanos>,
+    accesses: u64,
+    major_faults: u64,
+    minor_faults: u64,
+}
+
+/// The simulator. Construct with [`Simulator::new`], consume with
+/// [`Simulator::run`].
+pub struct Simulator {
+    config: SimConfig,
+    clock: Nanos,
+    llc: LastLevelCache,
+    mc: McPipeline,
+    frames: FrameAllocator,
+    spaces: HashMap<Pid, AddressSpace>,
+    lrus: HashMap<Pid, LruLists>,
+    cgroups: HashMap<Pid, Cgroup>,
+    swapcache: SwapCache,
+    swapdev: SwapDevice,
+    rdma: RdmaEngine,
+    baseline: Box<dyn Prefetcher>,
+    /// Uncharged swapcache pages, reclaimed first under global
+    /// pressure (the kernel's inactive file/anon behaviour).
+    sc_lru: LruLists,
+    base_metrics: PrefetchMetrics,
+    base_inflight: HashMap<(Pid, Vpn), Nanos>,
+    base_cq: CompletionQueue<BaseArrival>,
+    hopp: Option<HoppRuntime>,
+    hopp_inflight: HashMap<(Pid, Vpn), Nanos>,
+    apps: Vec<(Pid, AppRuntime)>,
+    counters: Counters,
+    prefetch_buf: Vec<hopp_kernel::PrefetchRequest>,
+    /// Last time each resident frame was reported hot by the MC
+    /// (consulted by trace-assisted reclaim, §IV).
+    last_hot: HashMap<Ppn, Nanos>,
+    timeline: Vec<TimelineSample>,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given apps.
+    ///
+    /// The physical frame pool is sized as the sum of all cgroup limits
+    /// plus `slack_frames` (headroom for uncharged swapcache pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration validation errors, or
+    /// [`Error::UnknownProcess`] if two apps share a PID or use the
+    /// kernel PID.
+    pub fn new(config: SimConfig, apps: Vec<AppSpec>) -> Result<Self> {
+        let llc = LastLevelCache::new(config.llc)?;
+        let mc = McPipeline::with_channels(config.hpd, config.rpt, config.channels)?;
+        let mut spaces = HashMap::new();
+        let mut mapped_lru = HashMap::new();
+        let mut cgroups = HashMap::new();
+        let mut runtimes = Vec::new();
+        let mut total_limit = 0usize;
+        for app in apps {
+            if app.pid == Pid::KERNEL || spaces.contains_key(&app.pid) {
+                return Err(Error::UnknownProcess { pid: app.pid });
+            }
+            total_limit += app.limit_pages;
+            spaces.insert(app.pid, AddressSpace::new(app.pid));
+            mapped_lru.insert(app.pid, LruLists::new());
+            cgroups.insert(app.pid, Cgroup::with_limit(app.limit_pages)?);
+            runtimes.push((
+                app.pid,
+                AppRuntime {
+                    stream: app.stream,
+                    finished_at: None,
+                    accesses: 0,
+                    major_faults: 0,
+                    minor_faults: 0,
+                },
+            ));
+        }
+        let hopp = match config.system {
+            SystemConfig::Baseline(_) => None,
+            SystemConfig::Hopp { config, .. } => Some(HoppRuntime {
+                engine: HoppEngine::try_new(config)?,
+                exec: ExecutionEngine::new(),
+                injected: HashMap::new(),
+                metrics: PrefetchMetrics::new(),
+                tier_metrics: [
+                    PrefetchMetrics::new(),
+                    PrefetchMetrics::new(),
+                    PrefetchMetrics::new(),
+                ],
+            }),
+        };
+        let baseline = match config.system {
+            SystemConfig::Baseline(b) => b.build(),
+            SystemConfig::Hopp { host, .. } => host.build(),
+        };
+        Ok(Simulator {
+            clock: Nanos::ZERO,
+            llc,
+            mc,
+            frames: FrameAllocator::new(total_limit + config.slack_frames),
+            spaces,
+            lrus: mapped_lru,
+            cgroups,
+            swapcache: SwapCache::new(),
+            swapdev: match config.remote_capacity_pages {
+                Some(cap) => SwapDevice::with_capacity(cap),
+                None => SwapDevice::new(),
+            },
+            rdma: RdmaEngine::new(config.rdma),
+            baseline,
+            sc_lru: LruLists::new(),
+            base_metrics: PrefetchMetrics::new(),
+            base_inflight: HashMap::new(),
+            base_cq: CompletionQueue::new(),
+            hopp,
+            hopp_inflight: HashMap::new(),
+            apps: runtimes,
+            counters: Counters::default(),
+            prefetch_buf: Vec::new(),
+            last_hot: HashMap::new(),
+            timeline: Vec::new(),
+            config,
+        })
+    }
+
+    /// Swaps in a custom fault-path prefetcher (e.g. a differently
+    /// tuned baseline) before running. The system's name in the report
+    /// still reflects the original configuration.
+    pub fn replace_baseline(&mut self, prefetcher: Box<dyn Prefetcher>) {
+        self.baseline = prefetcher;
+    }
+
+    /// Runs every app to completion and reports.
+    pub fn run(mut self) -> SimReport {
+        // Round-robin across apps at access granularity: the
+        // single-node interleaving that makes streams intertwine.
+        let mut live: Vec<usize> = (0..self.apps.len()).collect();
+        let mut cursor = 0usize;
+        while !live.is_empty() {
+            cursor %= live.len();
+            let app_idx = live[cursor];
+            let next = self.apps[app_idx].1.stream.next_access();
+            match next {
+                Some(access) => {
+                    self.step(app_idx, access);
+                    cursor += 1;
+                }
+                None => {
+                    self.apps[app_idx].1.finished_at = Some(self.clock);
+                    live.remove(cursor);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Executes one page access.
+    fn step(&mut self, app_idx: usize, access: PageAccess) {
+        self.clock += Nanos::from_nanos(u64::from(access.think_ns));
+        self.drain_completions();
+        self.counters.accesses += 1;
+        self.apps[app_idx].1.accesses += 1;
+        if self.config.timeline_every > 0
+            && self.counters.accesses.is_multiple_of(self.config.timeline_every)
+        {
+            self.timeline.push(TimelineSample {
+                at: self.clock,
+                accesses: self.counters.accesses,
+                major_faults: self.counters.major_faults,
+                minor_faults: self.counters.minor_faults,
+                hopp_injected: self.hopp.as_ref().map_or(0, |h| h.metrics.prefetched()),
+            });
+        }
+
+        let pid = access.pid;
+        let vpn = access.vpn;
+        let key = (pid, vpn);
+
+        // A demand access to an in-flight prefetch waits for the data
+        // (the kernel blocks on the page's IO) and then proceeds.
+        let inflight_due = self
+            .base_inflight
+            .get(&key)
+            .copied()
+            .or_else(|| self.hopp_inflight.get(&key).copied());
+        if let Some(due) = inflight_due {
+            if due > self.clock {
+                self.clock = due;
+            }
+            self.counters.inflight_waits += 1;
+            self.drain_completions();
+        }
+
+        let mapping = self
+            .spaces
+            .get(&pid)
+            .unwrap_or_else(|| panic!("access by unknown {pid}"))
+            .lookup(vpn);
+        match mapping {
+            Some(Mapping::Present(pte)) => {
+                self.counters.dram_hits += 1;
+                self.on_present_access(pid, vpn, pte.ppn, &access);
+            }
+            Some(Mapping::Swapped(slot)) => {
+                if self.swapcache.contains(pid, vpn) {
+                    self.minor_fault(app_idx, pid, vpn, &access);
+                } else {
+                    self.major_fault(app_idx, pid, vpn, slot, &access);
+                }
+            }
+            None => {
+                self.first_touch(pid, vpn, &access);
+            }
+        }
+    }
+
+    /// An access whose PTE is present: pure memory-system cost.
+    fn on_present_access(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) {
+        // A real kernel only learns about these accesses via accessed-bit
+        // scans; precise_lru = false models a kernel that never scans.
+        if self.config.precise_lru {
+            if let Some(lru) = self.lrus.get_mut(&pid) {
+                lru.touch(ppn);
+            }
+        }
+        if !access.kind.is_read() {
+            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+        }
+        self.record_first_hit(pid, vpn);
+        self.line_loop(pid, vpn, ppn, access);
+    }
+
+    /// First application access to a prefetched page: metrics +
+    /// timeliness feedback.
+    fn record_first_hit(&mut self, pid: Pid, vpn: Vpn) {
+        if let Some(h) = &mut self.hopp {
+            if let Some(t) = h.metrics.on_first_access(pid, vpn, self.clock) {
+                if let Some((stream, tier)) = h.injected.remove(&(pid, vpn)) {
+                    h.engine.on_timeliness(stream, t);
+                    h.tier_metrics[tier_index(tier)].on_first_access(pid, vpn, self.clock);
+                }
+            }
+        }
+        // Depth-N's injected pages live in the baseline metrics.
+        self.base_metrics.on_first_access(pid, vpn, self.clock);
+    }
+
+    /// Swapcache hit: a minor fault (*prefetch-hit*, 2.3 µs).
+    fn minor_fault(&mut self, app_idx: usize, pid: Pid, vpn: Vpn, access: &PageAccess) {
+        self.clock += self.config.latency.prefetch_hit();
+        self.counters.minor_faults += 1;
+        self.apps[app_idx].1.minor_faults += 1;
+
+        let entry = self.swapcache.take(pid, vpn).expect("checked contains");
+        self.base_metrics.on_first_access(pid, vpn, self.clock);
+        if let Some(slot) = entry.slot {
+            self.swapdev.free(slot);
+        }
+        self.sc_lru.remove(entry.ppn);
+        self.map_page(pid, vpn, entry.ppn);
+        if !access.kind.is_read() {
+            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+        }
+
+        self.notify_baseline(FaultInfo {
+            pid,
+            vpn,
+            now: self.clock,
+            hit_swapcache: true,
+            slot: None,
+        });
+        self.line_loop(pid, vpn, entry.ppn, access);
+    }
+
+    /// Major fault: synchronous remote read plus the kernel fault path.
+    fn major_fault(
+        &mut self,
+        app_idx: usize,
+        pid: Pid,
+        vpn: Vpn,
+        slot: hopp_types::SwapSlot,
+        access: &PageAccess,
+    ) {
+        self.counters.major_faults += 1;
+        self.apps[app_idx].1.major_faults += 1;
+        self.base_metrics.on_demand_remote();
+        if let Some(h) = &mut self.hopp {
+            h.metrics.on_demand_remote();
+        }
+
+        let done = self.rdma.issue_page_read(self.clock);
+        self.clock = done + self.config.latency.major_fault_cpu();
+
+        let ppn = self.ensure_frame(pid, vpn);
+        self.swapdev.free(slot);
+        self.map_page(pid, vpn, ppn);
+        if !access.kind.is_read() {
+            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+        }
+
+        self.notify_baseline(FaultInfo {
+            pid,
+            vpn,
+            now: self.clock,
+            hit_swapcache: false,
+            slot: Some(slot),
+        });
+        self.drain_completions();
+        self.line_loop(pid, vpn, ppn, access);
+    }
+
+    /// First touch: zero-fill, no remote traffic.
+    fn first_touch(&mut self, pid: Pid, vpn: Vpn, access: &PageAccess) {
+        self.clock += self.config.latency.context_switch + self.config.latency.pte_establish;
+        self.counters.first_touches += 1;
+        let ppn = self.ensure_frame(pid, vpn);
+        self.map_page(pid, vpn, ppn);
+        if !access.kind.is_read() {
+            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+        }
+        self.line_loop(pid, vpn, ppn, access);
+    }
+
+    /// Installs a PTE, charges the cgroup and reclaims if over limit.
+    fn map_page(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+        self.spaces
+            .get_mut(&pid)
+            .expect("known pid")
+            .map_present(vpn, ppn, &mut self.mc);
+        self.lrus
+            .get_mut(&pid)
+            .expect("known pid")
+            .insert(ppn, LruTier::Active);
+        let over = self.cgroups.get_mut(&pid).expect("known pid").charge();
+        if over {
+            self.reclaim_over_limit(pid);
+        }
+    }
+
+    /// The per-cacheline memory-system walk of one page touch.
+    fn line_loop(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) {
+        for line in 0..access.lines {
+            let addr = ppn.line(line);
+            if self.llc.access(addr, access.kind) {
+                self.clock += self.config.llc_hit;
+            } else {
+                self.clock += self.config.latency.dram_miss;
+                if let Some(hot) = self.mc.on_llc_miss(addr, access.kind, self.clock) {
+                    if self.config.trace_assisted_reclaim.is_some() {
+                        self.last_hot.insert(ppn, self.clock);
+                    }
+                    self.on_hot_page(hot);
+                }
+            }
+        }
+        let _ = (pid, vpn);
+    }
+
+    /// Hot page from the MC: feed HoPP's training stack and issue the
+    /// resulting orders on the separate data path.
+    fn on_hot_page(&mut self, hot: hopp_types::HotPage) {
+        let Some(h) = &mut self.hopp else { return };
+        let orders = h.engine.on_hot_page(&hot);
+        for order in orders {
+            let key = (order.pid, order.vpn);
+            // Only pages that actually live remotely are fetchable.
+            let swapped = matches!(
+                self.spaces.get(&order.pid).and_then(|s| s.lookup(order.vpn)),
+                Some(Mapping::Swapped(_))
+            );
+            if !swapped
+                || self.swapcache.contains(order.pid, order.vpn)
+                || self.base_inflight.contains_key(&key)
+            {
+                continue;
+            }
+            // Huge batches move the whole span over the wire; only worth
+            // it when most of the span actually lives remotely.
+            if order.span > 1 {
+                let swapped_in_span = (0..u64::from(order.span))
+                    .filter_map(|k| order.vpn.offset(k as i64))
+                    .filter(|vpn| {
+                        matches!(
+                            self.spaces.get(&order.pid).and_then(|sp| sp.lookup(*vpn)),
+                            Some(Mapping::Swapped(_))
+                        ) && !self.hopp_inflight.contains_key(&(order.pid, *vpn))
+                    })
+                    .count() as u32;
+                if swapped_in_span * 4 < order.span * 3 {
+                    continue;
+                }
+            }
+            if let Some(due) = h.exec.request_span(
+                order.pid,
+                order.vpn,
+                order.span,
+                order.stream,
+                order.tier,
+                self.clock,
+                &mut self.rdma,
+            ) {
+                // Mark every (currently remote) page of the span as in
+                // flight so demand faults wait instead of re-fetching.
+                for k in 0..u64::from(order.span) {
+                    let Some(vpn) = order.vpn.offset(k as i64) else { break };
+                    if matches!(
+                        self.spaces.get(&order.pid).and_then(|sp| sp.lookup(vpn)),
+                        Some(Mapping::Swapped(_))
+                    ) {
+                        self.hopp_inflight.insert((order.pid, vpn), due);
+                        self.counters.hopp_prefetches += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the fault-path prefetcher and issues its requests.
+    fn notify_baseline(&mut self, fault: FaultInfo) {
+        let mut reqs = std::mem::take(&mut self.prefetch_buf);
+        reqs.clear();
+        self.baseline.on_fault(&fault, &self.swapdev, &mut reqs);
+        for req in &reqs {
+            self.issue_baseline_prefetch(*req);
+        }
+        self.prefetch_buf = reqs;
+    }
+
+    fn issue_baseline_prefetch(&mut self, req: hopp_kernel::PrefetchRequest) {
+        let key = (req.pid, req.vpn);
+        let swapped = matches!(
+            self.spaces.get(&req.pid).and_then(|s| s.lookup(req.vpn)),
+            Some(Mapping::Swapped(_))
+        );
+        if !swapped
+            || self.swapcache.contains(req.pid, req.vpn)
+            || self.base_inflight.contains_key(&key)
+            || self.hopp_inflight.contains_key(&key)
+        {
+            return;
+        }
+        let done = self.rdma.issue_page_read(self.clock);
+        self.base_inflight.insert(key, done);
+        self.base_cq.push(
+            done,
+            BaseArrival {
+                pid: req.pid,
+                vpn: req.vpn,
+                inject: req.inject,
+            },
+        );
+        self.counters.baseline_prefetches += 1;
+    }
+
+    /// Processes every async arrival due by the current clock.
+    fn drain_completions(&mut self) {
+        while let Some((done, arrival)) = self.base_cq.pop_due(self.clock) {
+            self.handle_base_arrival(arrival, done);
+        }
+        if self.hopp.is_some() {
+            loop {
+                let completions = self
+                    .hopp
+                    .as_mut()
+                    .expect("checked")
+                    .exec
+                    .poll(self.clock);
+                if completions.is_empty() {
+                    break;
+                }
+                for c in completions {
+                    self.handle_hopp_completion(c);
+                }
+            }
+        }
+    }
+
+    fn handle_base_arrival(&mut self, arrival: BaseArrival, done: Nanos) {
+        let key = (arrival.pid, arrival.vpn);
+        if self.base_inflight.remove(&key).is_none() {
+            return; // superseded
+        }
+        let Some(Mapping::Swapped(slot)) = self
+            .spaces
+            .get(&arrival.pid)
+            .and_then(|s| s.lookup(arrival.vpn))
+        else {
+            return; // page no longer remote; drop the data
+        };
+        let ppn = self.ensure_frame(arrival.pid, arrival.vpn);
+        self.base_metrics
+            .on_prefetch_arrival(arrival.pid, arrival.vpn, done);
+        if arrival.inject {
+            // Depth-N semantics: eager PTE injection, page charged and
+            // on the *active* list (§II-C).
+            self.swapdev.free(slot);
+            self.map_page(arrival.pid, arrival.vpn, ppn);
+        } else {
+            self.swapcache.insert(
+                arrival.pid,
+                arrival.vpn,
+                ppn,
+                Some(slot),
+                CacheFill::Prefetch,
+                done,
+            );
+            // Unproven page: inactive list, *not* charged to the cgroup
+            // (the Fastswap/Leap accounting gap).
+            self.sc_lru.insert(ppn, LruTier::Inactive);
+        }
+    }
+
+    fn handle_hopp_completion(&mut self, c: hopp_core::Completion) {
+        // A span-1 completion injects one page; a huge-page batch (§IV)
+        // injects every page of the range that is still remote.
+        for k in 0..u64::from(c.span) {
+            let Some(vpn) = c.vpn.offset(k as i64) else { break };
+            let key = (c.pid, vpn);
+            self.hopp_inflight.remove(&key);
+            let Some(Mapping::Swapped(slot)) =
+                self.spaces.get(&c.pid).and_then(|s| s.lookup(vpn))
+            else {
+                continue;
+            };
+            let ppn = self.ensure_frame(c.pid, vpn);
+            self.swapdev.free(slot);
+            self.map_page(c.pid, vpn, ppn);
+            let h = self.hopp.as_mut().expect("hopp completion without hopp");
+            h.metrics.on_prefetch_arrival(c.pid, vpn, c.done_at);
+            h.tier_metrics[tier_index(c.tier)].on_prefetch_arrival(c.pid, vpn, c.done_at);
+            h.injected.insert(key, (c.stream, c.tier));
+        }
+    }
+
+    /// Allocates a frame, reclaiming if the pool is exhausted.
+    fn ensure_frame(&mut self, pid: Pid, vpn: Vpn) -> Ppn {
+        loop {
+            match self.frames.alloc(pid, vpn) {
+                Ok(ppn) => return ppn,
+                Err(_) => {
+                    if !self.evict_one(pid) {
+                        panic!("out of frames with nothing reclaimable");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts one page under global frame pressure: unconsumed
+    /// swapcache pages first (they are uncharged and cheap to drop),
+    /// then the preferring pid's mapped pages, then the largest
+    /// process's.
+    fn evict_one(&mut self, prefer: Pid) -> bool {
+        if let Some(ppn) = self.sc_lru.pop_evict() {
+            self.evict_frame(ppn);
+            return true;
+        }
+        let victim_pid = if self.lrus.get(&prefer).is_some_and(|l| !l.is_empty()) {
+            prefer
+        } else {
+            match self
+                .lrus
+                .iter()
+                .filter(|(_, l)| !l.is_empty())
+                .max_by_key(|(_, l)| l.len())
+                .map(|(p, _)| *p)
+            {
+                Some(p) => p,
+                None => return false,
+            }
+        };
+        let Some(ppn) = self.pop_mapped_victim(victim_pid) else {
+            return false;
+        };
+        self.evict_frame(ppn);
+        true
+    }
+
+    /// Reclaims the given frame: swapcache pages are dropped, mapped
+    /// pages are swapped out (dirty ones written back over RDMA).
+    ///
+    /// With `reclaim_in_advance = false` (pre-v5.8 kernels) the per-page
+    /// reclaim cost lands on the current fault's critical path.
+    fn evict_frame(&mut self, ppn: Ppn) {
+        if !self.config.reclaim_in_advance {
+            self.clock += self.config.latency.reclaim_per_page;
+        }
+        let (pid, vpn) = self.frames.owner(ppn).expect("evicting an owned frame");
+        self.counters.reclaimed += 1;
+        self.sc_lru.remove(ppn);
+        if let Some(lru) = self.lrus.get_mut(&pid) {
+            lru.remove(ppn);
+        }
+        if self
+            .swapcache
+            .peek(pid, vpn)
+            .is_some_and(|e| e.ppn == ppn)
+        {
+            // An unconsumed prefetch: drop it; the swap copy remains
+            // valid at its slot.
+            self.swapcache.evict(pid, vpn);
+            self.base_metrics.on_evicted_unused(pid, vpn);
+        } else {
+            let slot = self
+                .swapdev
+                .alloc(pid, vpn)
+                .expect("remote memory node exhausted; raise remote_capacity_pages");
+            let pte = self
+                .spaces
+                .get_mut(&pid)
+                .expect("known pid")
+                .swap_out(vpn, slot, &mut self.mc)
+                .expect("mapped page");
+            debug_assert_eq!(pte.ppn, ppn);
+            if pte.dirty {
+                // Writeback happens off the critical path but occupies
+                // the shared link.
+                self.rdma.issue_page_write(self.clock);
+                self.counters.writebacks += 1;
+            }
+            self.cgroups.get_mut(&pid).expect("known pid").uncharge();
+            // Injected-but-never-used prefetches die here.
+            if let Some(h) = &mut self.hopp {
+                if let Some((_, tier)) = h.injected.remove(&(pid, vpn)) {
+                    h.metrics.on_evicted_unused(pid, vpn);
+                    h.tier_metrics[tier_index(tier)].on_evicted_unused(pid, vpn);
+                }
+            }
+            self.base_metrics.on_evicted_unused(pid, vpn);
+        }
+        self.last_hot.remove(&ppn);
+        self.frames.free(ppn).expect("owned frame frees");
+        self.llc.invalidate_page(ppn);
+        self.mc.on_page_reclaimed(ppn);
+    }
+
+    /// Direct reclaim for a cgroup that exceeded its limit.
+    fn reclaim_over_limit(&mut self, pid: Pid) {
+        while self.cgroups.get(&pid).expect("known pid").over_limit() {
+            let Some(ppn) = self.pop_mapped_victim(pid) else {
+                break;
+            };
+            self.evict_frame(ppn);
+        }
+    }
+
+    /// Pops the next eviction victim from a cgroup's mapped LRU. With
+    /// trace-assisted reclaim enabled (§IV), pages the MC reported hot
+    /// within the configured window get a second chance (re-inserted at
+    /// the active head), bounded to a few rotations.
+    fn pop_mapped_victim(&mut self, pid: Pid) -> Option<Ppn> {
+        let Some(window) = self.config.trace_assisted_reclaim else {
+            return self.lrus.get_mut(&pid).expect("known pid").pop_evict();
+        };
+        for _ in 0..4 {
+            let ppn = self.lrus.get_mut(&pid).expect("known pid").pop_evict()?;
+            let hot_recently = self
+                .last_hot
+                .get(&ppn)
+                .is_some_and(|t| self.clock.saturating_since(*t) < window);
+            if hot_recently {
+                self.lrus
+                    .get_mut(&pid)
+                    .expect("known pid")
+                    .insert(ppn, LruTier::Active);
+            } else {
+                return Some(ppn);
+            }
+        }
+        self.lrus.get_mut(&pid).expect("known pid").pop_evict()
+    }
+
+    fn report(self) -> SimReport {
+        let mut per_app = BTreeMap::new();
+        let mut completion = Nanos::ZERO;
+        for (pid, rt) in &self.apps {
+            let finished = rt.finished_at.unwrap_or(self.clock);
+            completion = completion.max(finished);
+            per_app.insert(
+                *pid,
+                AppReport {
+                    finished_at: finished,
+                    accesses: rt.accesses,
+                    major_faults: rt.major_faults,
+                    minor_faults: rt.minor_faults,
+                },
+            );
+        }
+        let (hopp_report, tier_reports, tier_stats) = match &self.hopp {
+            Some(h) => (
+                Some(h.metrics.report()),
+                Some([
+                    h.tier_metrics[0].report(),
+                    h.tier_metrics[1].report(),
+                    h.tier_metrics[2].report(),
+                ]),
+                Some(h.engine.tier_stats()),
+            ),
+            None => (None, None, None),
+        };
+        SimReport {
+            system: self.config.system.name(),
+            completion,
+            per_app,
+            counters: self.counters,
+            baseline: self.base_metrics.report(),
+            hopp: hopp_report,
+            hopp_tiers: tier_reports,
+            tier_stats,
+            hpd: self.mc.hpd_stats(),
+            rpt: self.mc.rpt().stats(),
+            ledger: self.mc.ledger(),
+            llc: self.llc.stats(),
+            rdma: self.rdma.stats(),
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppSpec, BaselineKind};
+    use hopp_trace::patterns::SimpleStream;
+
+    fn scan_app(pid: u16, pages: u64, passes: usize, limit: usize) -> AppSpec {
+        let passes: Vec<Box<dyn AccessStream>> = (0..passes)
+            .map(|_| {
+                Box::new(SimpleStream::new(
+                    Pid::new(pid),
+                    Vpn::new(1 << 20),
+                    1,
+                    pages,
+                )) as Box<dyn AccessStream>
+            })
+            .collect();
+        AppSpec {
+            pid: Pid::new(pid),
+            stream: Box::new(hopp_trace::patterns::Chain::new(passes)),
+            limit_pages: limit,
+        }
+    }
+
+    fn run(system: SystemConfig, app: AppSpec) -> SimReport {
+        Simulator::new(SimConfig::with_system(system), vec![app])
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn local_run_has_no_remote_traffic() {
+        let r = run(
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            scan_app(1, 1_000, 2, 1_200),
+        );
+        assert_eq!(r.counters.major_faults, 0);
+        assert_eq!(r.counters.minor_faults, 0);
+        assert_eq!(r.counters.first_touches, 1_000);
+        assert_eq!(r.remote_reads(), 0);
+        assert_eq!(r.counters.accesses, 2_000);
+    }
+
+    #[test]
+    fn constrained_run_faults_on_the_second_pass() {
+        let r = run(
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            scan_app(1, 1_000, 2, 500),
+        );
+        // Pass 1: first touches + evictions. Pass 2: LRU worst case —
+        // every page was evicted before its re-access.
+        assert_eq!(r.counters.first_touches, 1_000);
+        assert_eq!(r.counters.major_faults, 1_000);
+        assert!(r.counters.reclaimed >= 1_000);
+        assert!(r.remote_reads() >= 1_000);
+    }
+
+    #[test]
+    fn fastswap_readahead_converts_major_to_minor() {
+        let r = run(
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            scan_app(1, 1_000, 2, 500),
+        );
+        assert!(
+            r.counters.minor_faults + r.counters.inflight_waits > 500,
+            "readahead should serve most re-accesses: {:?}",
+            r.counters
+        );
+        assert!(r.counters.major_faults < 500);
+        assert!(r.baseline.accuracy > 0.8, "sequential readahead is accurate");
+    }
+
+    #[test]
+    fn fastswap_beats_no_prefetch_on_streams() {
+        let no = run(
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            scan_app(1, 1_000, 2, 500),
+        );
+        let fs = run(
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            scan_app(1, 1_000, 2, 500),
+        );
+        assert!(fs.completion < no.completion);
+    }
+
+    #[test]
+    fn hopp_injects_and_beats_fastswap() {
+        let fs = run(
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            scan_app(1, 2_000, 3, 1_000),
+        );
+        let hp = run(SystemConfig::hopp_default(), scan_app(1, 2_000, 3, 1_000));
+        assert!(hp.counters.hopp_prefetches > 0, "hopp issued prefetches");
+        let hopp_metrics = hp.hopp.unwrap();
+        assert!(hopp_metrics.prefetch_hits > 0, "injected pages were hit");
+        assert!(
+            hp.completion < fs.completion,
+            "hopp {} vs fastswap {}",
+            hp.completion,
+            fs.completion
+        );
+    }
+
+    #[test]
+    fn dirty_pages_are_written_back() {
+        let app = AppSpec {
+            pid: Pid::new(1),
+            stream: Box::new(
+                SimpleStream::new(Pid::new(1), Vpn::new(1 << 20), 1, 1_000).writes(),
+            ),
+            limit_pages: 400,
+        };
+        let r = run(SystemConfig::Baseline(BaselineKind::NoPrefetch), app);
+        assert!(r.counters.writebacks > 0);
+        assert!(r.rdma.writes > 0);
+    }
+
+    #[test]
+    fn multi_app_isolation_by_cgroup() {
+        let apps = vec![scan_app(1, 800, 2, 400), scan_app(2, 800, 2, 400)];
+        let r = Simulator::new(
+            SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch)),
+            apps,
+        )
+        .unwrap()
+        .run();
+        assert_eq!(r.per_app.len(), 2);
+        let a = r.per_app[&Pid::new(1)];
+        let b = r.per_app[&Pid::new(2)];
+        assert_eq!(a.accesses, 1_600);
+        assert_eq!(b.accesses, 1_600);
+        // Both apps fault comparably under equal limits.
+        let ratio = a.major_faults as f64 / b.major_faults.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn duplicate_pids_are_rejected() {
+        let apps = vec![scan_app(1, 300, 1, 300), scan_app(1, 300, 1, 300)];
+        assert!(Simulator::new(SimConfig::default(), apps).is_err());
+    }
+
+    #[test]
+    fn kernel_pid_is_rejected() {
+        let apps = vec![scan_app(0, 300, 1, 300)];
+        assert!(Simulator::new(SimConfig::default(), apps).is_err());
+    }
+
+    #[test]
+    fn hpd_sees_traffic_even_without_hopp() {
+        let r = run(
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            scan_app(1, 1_000, 2, 500),
+        );
+        assert!(r.hpd.hot_pages > 0, "the MC pipeline is always on");
+        assert!(r.ledger.hpd_overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn huge_batching_collapses_remote_reads() {
+        use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
+        use hopp_core::HoppConfig;
+        let page_by_page = run(SystemConfig::hopp_default(), scan_app(1, 4_000, 3, 2_000));
+        // The batch must stay small relative to the scaled working set
+        // (512 pages is 2 MB against the paper's multi-GB footprints).
+        let batched = run(
+            SystemConfig::hopp_with(HoppConfig {
+                policy: PolicyConfig {
+                    huge_batch: Some(HugeBatchConfig {
+                        min_confirmations: 64,
+                        batch_pages: 64,
+                    }),
+                    ..PolicyConfig::default()
+                },
+                ..HoppConfig::default()
+            }),
+            scan_app(1, 4_000, 3, 2_000),
+        );
+        // One 2 MB read replaces up to 512 page reads.
+        assert!(
+            batched.rdma.reads * 4 < page_by_page.rdma.reads,
+            "batched {} vs page-by-page {}",
+            batched.rdma.reads,
+            page_by_page.rdma.reads
+        );
+        // And it must not be slower.
+        assert!(batched.completion <= page_by_page.completion.scale(1.05));
+        let m = batched.hopp.unwrap();
+        assert!(m.prefetch_hits > 1_000);
+    }
+
+    #[test]
+    fn timeline_samples_accumulate_monotonically() {
+        let config = SimConfig {
+            timeline_every: 100,
+            ..SimConfig::with_system(SystemConfig::hopp_default())
+        };
+        let r = Simulator::new(config, vec![scan_app(1, 1_000, 2, 500)])
+            .unwrap()
+            .run();
+        assert_eq!(r.timeline.len(), 20, "2000 accesses / 100");
+        for w in r.timeline.windows(2) {
+            assert!(w[1].at >= w[0].at);
+            assert!(w[1].major_faults >= w[0].major_faults);
+            assert!(w[1].accesses == w[0].accesses + 100);
+        }
+        // Warmup (§VI-E's "sluggish at start"): pass 1 (samples 0..10)
+        // is all first touches; re-access faulting starts at sample 10.
+        // The start of pass 2 faults harder than its end, once HoPP's
+        // training catches up.
+        let early = r.timeline[11].major_faults - r.timeline[9].major_faults;
+        let late = r.timeline[19].major_faults - r.timeline[17].major_faults;
+        assert!(
+            late < early,
+            "late window {late} vs early window {early}: no warmup visible"
+        );
+    }
+
+    #[test]
+    fn direct_reclaim_charges_the_critical_path() {
+        let advance = run(
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            scan_app(1, 1_000, 2, 500),
+        );
+        let direct = Simulator::new(
+            SimConfig {
+                reclaim_in_advance: false,
+                ..SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch))
+            },
+            vec![scan_app(1, 1_000, 2, 500)],
+        )
+        .unwrap()
+        .run();
+        // ~1000 reclaims x 3 us land on the fault path: the pre-v5.8
+        // worst case of §II-A.
+        let extra = direct.completion.saturating_since(advance.completion);
+        assert!(
+            extra >= Nanos::from_micros(2_500),
+            "direct reclaim cost {extra} should approach reclaims x 3us"
+        );
+        assert_eq!(direct.counters.major_faults, advance.counters.major_faults);
+    }
+
+    #[test]
+    fn dynamic_offset_beats_pinned_offset_under_volatility() {
+        use hopp_core::{HoppConfig, PolicyConfig};
+        use hopp_net::RdmaConfig;
+        let volatile = |system: SystemConfig| SimConfig {
+            rdma: RdmaConfig::volatile(),
+            ..SimConfig::with_system(system)
+        };
+        let app = || scan_app(1, 3_000, 3, 1_500);
+        let pinned = Simulator::new(
+            volatile(SystemConfig::hopp_with(HoppConfig {
+                policy: PolicyConfig::fixed_offset(1.0),
+                ..HoppConfig::default()
+            })),
+            vec![app()],
+        )
+        .unwrap()
+        .run();
+        let dynamic = Simulator::new(volatile(SystemConfig::hopp_default()), vec![app()])
+            .unwrap()
+            .run();
+        // §III-E: the timeliness controller pushes the offset out during
+        // bursts; a pinned offset of 1 keeps stalling on late pages.
+        assert!(
+            dynamic.completion < pinned.completion,
+            "dynamic {} !< pinned {}",
+            dynamic.completion,
+            pinned.completion
+        );
+    }
+
+    #[test]
+    fn depth_n_injects_without_swapcache() {
+        let r = run(
+            SystemConfig::Baseline(BaselineKind::DepthN(16)),
+            scan_app(1, 1_000, 2, 500),
+        );
+        // Depth-N's prefetches are injected: hits show up as neither
+        // minor faults nor swapcache hits.
+        assert!(r.baseline.prefetched > 0);
+        assert!(r.baseline.prefetch_hits > 0);
+        assert!(r.counters.minor_faults == 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! On-disk page-access traces: record a workload's access stream once,
+//! replay it under any system configuration.
+//!
+//! This is the page-granular sibling of the HMTT line-granular format
+//! ([`crate::hmtt::file`]): where HMTT captures what the *memory bus*
+//! saw, a page trace captures what the *application* did, so the same
+//! sequence can be replayed against different prefetchers, memory
+//! ratios or machine models (`hoppsim --record` / `--replay`). It is
+//! also the import path for externally captured traces.
+//!
+//! Format: an 8-byte magic, then 16-byte little-endian records
+//! `[pid:u16][kind:u8][lines:u8][think_ns:u32][vpn:u64]`.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use hopp_types::{AccessKind, PageAccess, Pid, Vpn, LINES_PER_PAGE};
+
+use crate::patterns::AccessStream;
+
+/// File magic: `HOPPPGA1`.
+pub const MAGIC: [u8; 8] = *b"HOPPPGA1";
+
+/// Bytes per record.
+pub const RECORD_BYTES: usize = 16;
+
+fn encode(acc: &PageAccess) -> [u8; RECORD_BYTES] {
+    let mut buf = [0u8; RECORD_BYTES];
+    buf[0..2].copy_from_slice(&acc.pid.raw().to_le_bytes());
+    buf[2] = matches!(acc.kind, AccessKind::Write) as u8;
+    buf[3] = acc.lines;
+    buf[4..8].copy_from_slice(&acc.think_ns.to_le_bytes());
+    buf[8..16].copy_from_slice(&acc.vpn.raw().to_le_bytes());
+    buf
+}
+
+fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<PageAccess> {
+    let lines = buf[3];
+    if lines == 0 || lines as usize > LINES_PER_PAGE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "page record with invalid line count",
+        ));
+    }
+    Ok(PageAccess {
+        pid: Pid::new(u16::from_le_bytes([buf[0], buf[1]])),
+        kind: if buf[2] == 0 {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        },
+        lines,
+        think_ns: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+        vpn: Vpn::new(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"))),
+    })
+}
+
+/// Drains `stream` into `writer` in the on-disk format; returns the
+/// record count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn record<W: Write>(mut writer: W, stream: &mut dyn AccessStream) -> io::Result<u64> {
+    writer.write_all(&MAGIC)?;
+    let mut count = 0;
+    while let Some(acc) = stream.next_access() {
+        writer.write_all(&encode(&acc))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Loads a full trace from `reader`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, a truncated record or an
+/// invalid line count; propagates I/O errors.
+pub fn load<R: Read>(mut reader: R) -> io::Result<Vec<PageAccess>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a hopp page-trace file",
+        ));
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    if !body.len().is_multiple_of(RECORD_BYTES) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated page record",
+        ));
+    }
+    body.chunks_exact(RECORD_BYTES)
+        .map(|c| decode(c.try_into().expect("16 bytes")))
+        .collect()
+}
+
+/// Records a stream to a file; returns the record count.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_stream<P: AsRef<Path>>(path: P, stream: &mut dyn AccessStream) -> io::Result<u64> {
+    record(std::fs::File::create(path)?, stream)
+}
+
+/// Loads a trace from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and format errors.
+pub fn load_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<PageAccess>> {
+    load(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Replays a loaded trace as an [`AccessStream`].
+#[derive(Clone, Debug)]
+pub struct TraceFileStream {
+    accesses: std::vec::IntoIter<PageAccess>,
+}
+
+impl TraceFileStream {
+    /// Wraps a loaded trace.
+    pub fn new(accesses: Vec<PageAccess>) -> Self {
+        TraceFileStream {
+            accesses: accesses.into_iter(),
+        }
+    }
+
+    /// Loads and wraps a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and format errors.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(load_file(path)?))
+    }
+}
+
+impl AccessStream for TraceFileStream {
+    fn next_access(&mut self) -> Option<PageAccess> {
+        self.accesses.next()
+    }
+
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::SimpleStream;
+
+    #[test]
+    fn record_load_roundtrip_preserves_everything() {
+        let mut stream = SimpleStream::new(Pid::new(3), Vpn::new(100), 2, 50)
+            .with_lines(24)
+            .with_think(777);
+        let mut buf = Vec::new();
+        let count = record(&mut buf, &mut stream).unwrap();
+        assert_eq!(count, 50);
+        assert_eq!(buf.len(), 8 + 50 * RECORD_BYTES);
+
+        let accesses = load(&buf[..]).unwrap();
+        let mut replay = TraceFileStream::new(accesses);
+        let mut original = SimpleStream::new(Pid::new(3), Vpn::new(100), 2, 50)
+            .with_lines(24)
+            .with_think(777);
+        loop {
+            match (original.next_access(), replay.next_access()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn writes_survive_the_roundtrip() {
+        let mut stream = SimpleStream::new(Pid::new(1), Vpn::new(5), 1, 3).writes();
+        let mut buf = Vec::new();
+        record(&mut buf, &mut stream).unwrap();
+        let accesses = load(&buf[..]).unwrap();
+        assert!(accesses.iter().all(|a| a.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        assert!(load(&b"WRONGMAG"[..]).is_err());
+        let mut stream = SimpleStream::new(Pid::new(1), Vpn::new(5), 1, 1);
+        let mut buf = Vec::new();
+        record(&mut buf, &mut stream).unwrap();
+        buf.pop();
+        assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_line_count_is_rejected() {
+        let mut stream = SimpleStream::new(Pid::new(1), Vpn::new(5), 1, 1);
+        let mut buf = Vec::new();
+        record(&mut buf, &mut stream).unwrap();
+        buf[8 + 3] = 0; // lines = 0
+        assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let path =
+            std::env::temp_dir().join(format!("hopp_page_trace_{}.trace", std::process::id()));
+        let mut stream = SimpleStream::new(Pid::new(2), Vpn::new(9), 3, 10);
+        save_stream(&path, &mut stream).unwrap();
+        let replayed = load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replayed.len(), 10);
+        assert_eq!(replayed[9].vpn, Vpn::new(9 + 27));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by the simulation crates.
+
+use core::fmt;
+
+use crate::{Pid, Ppn, Vpn};
+
+/// Errors surfaced by the HoPP simulation stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The machine has no free physical frame and reclaim found no victim.
+    OutOfFrames,
+    /// A translation was requested for a page the process never mapped.
+    UnmappedPage {
+        /// The faulting process.
+        pid: Pid,
+        /// The unmapped virtual page.
+        vpn: Vpn,
+    },
+    /// A frame was expected to be owned but the frame table disagrees.
+    FrameNotOwned {
+        /// The frame in question.
+        ppn: Ppn,
+    },
+    /// A process id was reused or never registered.
+    UnknownProcess {
+        /// The offending id.
+        pid: Pid,
+    },
+    /// A configuration value is outside its documented domain.
+    InvalidConfig {
+        /// The parameter name.
+        what: &'static str,
+        /// Human-readable constraint violated.
+        constraint: &'static str,
+    },
+    /// The remote memory node ran out of capacity.
+    RemoteMemoryExhausted {
+        /// The node's capacity in pages.
+        capacity_pages: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfFrames => write!(f, "no free physical frames and nothing to reclaim"),
+            Error::UnmappedPage { pid, vpn } => {
+                write!(f, "access to unmapped page {vpn} by {pid}")
+            }
+            Error::FrameNotOwned { ppn } => write!(f, "frame {ppn} is not owned"),
+            Error::UnknownProcess { pid } => write!(f, "unknown process {pid}"),
+            Error::InvalidConfig { what, constraint } => {
+                write!(f, "invalid configuration: {what} must satisfy {constraint}")
+            }
+            Error::RemoteMemoryExhausted { capacity_pages } => {
+                write!(f, "remote memory node full ({capacity_pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            Error::OutOfFrames.to_string(),
+            Error::UnmappedPage {
+                pid: Pid::new(1),
+                vpn: Vpn::new(2),
+            }
+            .to_string(),
+            Error::FrameNotOwned { ppn: Ppn::new(3) }.to_string(),
+            Error::UnknownProcess { pid: Pid::new(4) }.to_string(),
+            Error::InvalidConfig {
+                what: "n",
+                constraint: "1..=64",
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("no "));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

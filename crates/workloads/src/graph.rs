@@ -1,0 +1,163 @@
+//! GraphX workloads (running on Spark): BFS, CC, PageRank, Label
+//! Propagation.
+//!
+//! Graph analytics on Spark stores vertex and edge partitions as large
+//! arrays. Per superstep, edge partitions are scanned sequentially
+//! (long simple streams), vertex state is updated mostly in order but
+//! with stencil-like jitter (ripple streams), and random neighbour
+//! lookups add interference. Being JVM workloads, their regions are
+//! re-allocated across stages, so streams are shorter and patterns
+//! restart more often than in the native programs (§VI-B) — which is
+//! why the paper's Spark coverage numbers are lower.
+
+use hopp_trace::patterns::{
+    AccessStream, Chain, Interleaver, NoiseStream, RippleStream, SimpleStream,
+};
+use hopp_types::Pid;
+
+use crate::HEAP_BASE;
+
+const THINK_NS: u32 = 300;
+
+/// Observable LLC misses per edge-scan page touch.
+const SCAN_LINES: u8 = 40;
+/// Vertex updates touch fewer lines (stencil-like updates).
+const VERTEX_LINES: u8 = 16;
+
+/// Shared shape: `iters` supersteps; per superstep the edge region is
+/// scanned in `segments` separate streams (JVM partitioning), the
+/// vertex region ripples, and `noise_weight` controls random lookups.
+fn supersteps(
+    pid: Pid,
+    footprint: u64,
+    seed: u64,
+    iters: u64,
+    segments: u64,
+    noise_weight: u32,
+    jitter: f64,
+) -> Box<dyn AccessStream> {
+    let vertex = footprint / 4;
+    let edges = footprint - vertex;
+    let seg_len = edges / segments;
+    let mut phases: Vec<Box<dyn AccessStream>> = Vec::new();
+    for it in 0..iters {
+        let mut children: Vec<Box<dyn AccessStream>> = Vec::new();
+        let mut weights: Vec<u32> = Vec::new();
+        // Edge partitions: scanned in partition order within the step.
+        let parts: Vec<Box<dyn AccessStream>> = (0..segments)
+            .map(|s| {
+                Box::new(
+                    SimpleStream::new(
+                        pid,
+                        (HEAP_BASE + vertex + s * seg_len).into(),
+                        1,
+                        seg_len,
+                    )
+                    .with_lines(SCAN_LINES)
+                    .with_think(THINK_NS),
+                ) as Box<dyn AccessStream>
+            })
+            .collect();
+        children.push(Box::new(Chain::new(parts)));
+        weights.push(4);
+        // Vertex updates: a ripple over the vertex region.
+        children.push(Box::new(
+            RippleStream::new(
+                pid,
+                HEAP_BASE.into(),
+                vertex,
+                jitter,
+                0,
+                seed.wrapping_add(it),
+            )
+            .with_lines(VERTEX_LINES)
+            .with_think(THINK_NS),
+        ));
+        weights.push(2);
+        // Random neighbour lookups into the vertex region.
+        if noise_weight > 0 {
+            children.push(Box::new(
+                NoiseStream::new(
+                    pid,
+                    HEAP_BASE.into(),
+                    (HEAP_BASE + vertex).into(),
+                    vertex / 2,
+                    seed ^ (it << 8),
+                )
+                .with_lines(2),
+            ));
+            weights.push(noise_weight);
+        }
+        phases.push(Box::new(Interleaver::weighted(
+            children,
+            weights,
+            seed.wrapping_add(1_000 + it),
+        )));
+    }
+    Box::new(Chain::new(phases))
+}
+
+/// Breadth-first search: few supersteps, fragmented frontier (many
+/// short edge segments), heavy random neighbour access.
+pub fn bfs(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    supersteps(pid, footprint, seed, 3, 12, 3, 0.4)
+}
+
+/// Connected components: like BFS but with more label-update noise.
+pub fn cc(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    supersteps(pid, footprint, seed.wrapping_add(1), 3, 8, 3, 0.4)
+}
+
+/// PageRank: the most regular of the four — full edge sweeps each
+/// iteration with milder noise.
+pub fn pr(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    supersteps(pid, footprint, seed.wrapping_add(2), 3, 4, 1, 0.25)
+}
+
+/// Label propagation: regular sweeps, moderate noise.
+pub fn lp(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    supersteps(pid, footprint, seed.wrapping_add(3), 3, 6, 2, 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(mut s: Box<dyn AccessStream>) -> Vec<u64> {
+        std::iter::from_fn(|| s.next_access())
+            .map(|a| a.vpn.raw() - HEAP_BASE)
+            .collect()
+    }
+
+    #[test]
+    fn edge_scans_dominate_pr() {
+        let v = pages(pr(Pid::new(1), 2_048, 7));
+        let vertex = 512;
+        let edge_hits = v.iter().filter(|&&p| p >= vertex).count();
+        assert!(edge_hits * 2 > v.len(), "edge region dominates");
+    }
+
+    #[test]
+    fn bfs_is_noisier_than_pr() {
+        // Count stride-1 pairs as a regularity proxy.
+        let reg = |v: &[u64]| {
+            v.windows(2)
+                .filter(|w| w[1] as i64 - w[0] as i64 == 1)
+                .count() as f64
+                / v.len() as f64
+        };
+        let b = pages(bfs(Pid::new(1), 2_048, 7));
+        let p = pages(pr(Pid::new(1), 2_048, 7));
+        assert!(reg(&p) > reg(&b), "PR is more sequential than BFS");
+    }
+
+    #[test]
+    fn all_variants_cover_vertex_and_edge_regions() {
+        for f in [bfs, cc, pr, lp] {
+            let v = pages(f(Pid::new(1), 1_024, 3));
+            assert!(v.iter().any(|&p| p < 256), "vertex region touched");
+            assert!(v.iter().any(|&p| p >= 256), "edge region touched");
+            assert!(v.iter().all(|&p| p < 1_024), "stays in footprint");
+        }
+    }
+}

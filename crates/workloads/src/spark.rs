@@ -1,0 +1,162 @@
+//! Non-graph Spark workloads: K-means and Bayes.
+//!
+//! §VI-B: "Spark divides the K-means workload into multiple stages,
+//! each stage writes the data into a different memory area … this leads
+//! to more stream patterns in Spark applications, and the length of the
+//! stream is relatively small, thus the repetitive patterns might stop
+//! before HoPP finishes identifying them." The models reproduce that:
+//! the heap is divided into stages; each stage's data lives in its own
+//! region and is accessed through many short streams, interleaved with
+//! GC-like scattered touches of *older* regions.
+
+use hopp_trace::patterns::{AccessStream, Chain, Interleaver, NoiseStream, SimpleStream};
+use hopp_types::Pid;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::HEAP_BASE;
+
+const THINK_NS: u32 = 350;
+
+fn staged(
+    pid: Pid,
+    footprint: u64,
+    seed: u64,
+    stages: u64,
+    streams_per_stage: u64,
+    passes: u64,
+    gc_weight: u32,
+) -> Box<dyn AccessStream> {
+    let region = footprint / stages;
+    let mut phases: Vec<Box<dyn AccessStream>> = Vec::new();
+    for st in 0..stages {
+        let base = HEAP_BASE + st * region;
+        // The stage's own data: short consecutive streams covering the
+        // region in pieces (RDD partitions), iterated `passes` times
+        // (e.g. K-means iterations within a stage).
+        let piece = region / streams_per_stage;
+        let mut rounds: Vec<Box<dyn AccessStream>> = Vec::new();
+        for pass in 0..passes {
+            // Partitions are not scanned in address order: shuffle them
+            // so pieces don't merge into one long stream.
+            let mut order: Vec<u64> = (0..streams_per_stage).collect();
+            order.shuffle(&mut SmallRng::seed_from_u64(
+                seed.wrapping_add(st * 31 + pass * 7),
+            ));
+            let pieces: Vec<Box<dyn AccessStream>> = order
+                .into_iter()
+                .map(|p| {
+                    Box::new(
+                        SimpleStream::new(pid, (base + p * piece).into(), 1, piece)
+                            .with_lines(40)
+                            .with_think(THINK_NS),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect();
+            rounds.push(Box::new(Chain::new(pieces)));
+        }
+        let mut children: Vec<Box<dyn AccessStream>> = vec![Box::new(Chain::new(rounds))];
+        let mut weights = vec![4u32];
+        // The stage's *input*: the previous stage's RDD output, re-read
+        // partition by partition (shuffle reads). This is what faults
+        // once the previous region has been pushed to remote memory.
+        if st > 0 {
+            let prev = base - region;
+            let mut order: Vec<u64> = (0..streams_per_stage).collect();
+            order.shuffle(&mut SmallRng::seed_from_u64(seed.wrapping_add(st * 131)));
+            let inputs: Vec<Box<dyn AccessStream>> = order
+                .into_iter()
+                .map(|p| {
+                    Box::new(
+                        SimpleStream::new(pid, (prev + p * piece).into(), 1, piece)
+                            .with_lines(40)
+                            .with_think(THINK_NS),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect();
+            children.push(Box::new(Chain::new(inputs)));
+            weights.push(3);
+        }
+        // GC / shuffle traffic over everything allocated so far.
+        if st > 0 && gc_weight > 0 {
+            children.push(Box::new(NoiseStream::new(
+                pid,
+                HEAP_BASE.into(),
+                base.into(),
+                region / 2,
+                seed.wrapping_add(st),
+            )));
+            weights.push(gc_weight);
+        }
+        phases.push(Box::new(Interleaver::weighted(
+            children,
+            weights,
+            seed ^ st,
+        )));
+    }
+    Box::new(Chain::new(phases))
+}
+
+/// Spark K-means: 4 stages, fairly long partition streams iterated
+/// three times per stage (the K-means iterations), light GC.
+pub fn kmeans(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    staged(pid, footprint, seed, 4, 8, 3, 1)
+}
+
+/// Spark Bayes: more stages, shorter streams, two passes each, heavier
+/// shuffle/GC noise.
+pub fn bayes(pid: Pid, footprint: u64, seed: u64) -> Box<dyn AccessStream> {
+    staged(pid, footprint, seed.wrapping_add(99), 5, 16, 2, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(mut s: Box<dyn AccessStream>) -> Vec<u64> {
+        std::iter::from_fn(|| s.next_access())
+            .map(|a| a.vpn.raw() - HEAP_BASE)
+            .collect()
+    }
+
+    #[test]
+    fn stages_move_through_regions() {
+        let v = pages(kmeans(Pid::new(1), 2_048, 1));
+        let region = 512;
+        // The first accesses are in stage 0's region; the last stage's
+        // region only appears late.
+        assert!(v[0] < region);
+        let first_stage3 = v.iter().position(|&p| p >= 3 * region).unwrap();
+        assert!(first_stage3 > v.len() / 2);
+    }
+
+    #[test]
+    fn gc_touches_older_regions() {
+        let v = pages(bayes(Pid::new(1), 2_048, 1));
+        // Find an access to region 0 *after* stage 2 began.
+        let stage2_start = v.iter().position(|&p| p >= 2 * 409).unwrap();
+        assert!(
+            v[stage2_start..].iter().any(|&p| p < 409),
+            "old regions are revisited by GC noise"
+        );
+    }
+
+    #[test]
+    fn streams_are_shorter_than_native() {
+        // Proxy: the longest run of consecutive stride-1 accesses is
+        // bounded by the partition size, far below the footprint.
+        let v = pages(kmeans(Pid::new(1), 2_048, 1));
+        let mut longest = 0usize;
+        let mut run = 1usize;
+        for w in v.windows(2) {
+            if w[1] as i64 - w[0] as i64 == 1 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(longest < 256, "longest run {longest} should be short");
+    }
+}

@@ -1,0 +1,76 @@
+//! Hardware inspector: drive the MC pipeline (LLC → HPD → RPT) directly
+//! with a synthetic miss stream and inspect what the hardware would
+//! deliver to software — plus its bandwidth and silicon cost (§III-B,
+//! §III-C, §VI-F).
+//!
+//! ```text
+//! cargo run --release --example hardware_inspector
+//! ```
+
+use hopp::hw::{HpdConfig, HwCostModel, McPipeline, RptCacheConfig};
+use hopp::mem::PteListener;
+use hopp::types::{AccessKind, Nanos, Pid, Ppn, Vpn};
+
+fn main() {
+    let hpd = HpdConfig::default();
+    let rpt = RptCacheConfig::default();
+    let mut mc = McPipeline::new(hpd, rpt).expect("valid geometry");
+
+    // The kernel maps 256 pages for pid 7; the PTE hooks keep the RPT
+    // current, exactly like the paper's set_pte_at callback.
+    for i in 0..256u64 {
+        mc.pte_set(Pid::new(7), Vpn::new(0x4000 + i), Ppn::new(i));
+    }
+
+    // A streaming phase: pages are read line after line. A page becomes
+    // hot at its N-th (8th) read miss.
+    let mut hot_pages = Vec::new();
+    let mut t = 0u64;
+    for page in 0..256u64 {
+        for line in 0..24u8 {
+            t += 100;
+            if let Some(hot) =
+                mc.on_llc_miss(Ppn::new(page).line(line), AccessKind::Read, Nanos::from_nanos(t))
+            {
+                hot_pages.push(hot);
+            }
+        }
+    }
+
+    println!("fed {} read misses, extracted {} hot pages", 256 * 24, hot_pages.len());
+    println!("first hot pages:");
+    for hot in hot_pages.iter().take(4) {
+        println!("  {hot}");
+    }
+
+    let h = mc.hpd().stats();
+    println!(
+        "\nHPD: hot ratio {:.2}% | send-bit drops {} | cold evictions {}",
+        h.hot_ratio() * 100.0,
+        h.send_bit_drops,
+        h.cold_evictions
+    );
+    let r = mc.rpt().stats();
+    println!(
+        "RPT: {} lookups, hit rate {:.1}%, {} DRAM reads, {} writebacks",
+        r.lookups,
+        r.hit_rate() * 100.0,
+        r.dram_reads,
+        r.dram_writebacks
+    );
+    let ledger = mc.ledger();
+    println!(
+        "bandwidth overhead: HPD {:.3}% | RPT {:.4}% of application traffic",
+        ledger.hpd_overhead_percent(),
+        ledger.rpt_overhead_percent()
+    );
+
+    let cost = HwCostModel::default();
+    println!(
+        "\nsilicon (CACTI, 22nm): HPD {:.6} mm^2 / {:.4} mW; RPT cache {:.4} mm^2 / {:.1} mW",
+        cost.hpd_area_mm2(&hpd),
+        cost.hpd_static_mw(&hpd),
+        cost.rpt_area_mm2(&rpt),
+        cost.rpt_static_mw(&rpt)
+    );
+}

@@ -1,0 +1,71 @@
+//! Policy tuning: sweep the §III-E knobs (prefetch offset and
+//! intensity) on the paper's microbenchmark and see why the dynamic
+//! offset wins (Fig 22's "effect of timeliness").
+//!
+//! ```text
+//! cargo run --release --example policy_tuning
+//! ```
+
+use hopp::core::{HoppConfig, PolicyConfig};
+use hopp::sim::{run_workload, BaselineKind, SystemConfig};
+use hopp::workloads::WorkloadKind;
+
+fn run(label: &str, system: SystemConfig, fastswap_ns: f64) {
+    let r = run_workload(WorkloadKind::Microbench, 4_096, 42, system, 0.5);
+    let speedup = 1.0 - r.completion.as_nanos() as f64 / fastswap_ns;
+    let timeliness = r
+        .hopp
+        .map(|h| format!("{}", h.mean_timeliness))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "{label:<22} speedup {:+6.2}%  coverage {:5.1}%  mean timeliness {timeliness}",
+        speedup * 100.0,
+        r.coverage() * 100.0,
+    );
+}
+
+fn main() {
+    let fastswap = run_workload(
+        WorkloadKind::Microbench,
+        4_096,
+        42,
+        SystemConfig::Baseline(BaselineKind::Fastswap),
+        0.5,
+    );
+    let base = fastswap.completion.as_nanos() as f64;
+    println!(
+        "baseline: Fastswap completes the microbenchmark in {}\n",
+        fastswap.completion
+    );
+
+    // Fixed offsets: too near risks late pages, too far wastes memory.
+    for offset in [1.0, 8.0, 64.0, 1_024.0, 20_000.0] {
+        run(
+            &format!("fixed offset {offset}"),
+            SystemConfig::hopp_with(HoppConfig {
+                policy: PolicyConfig::fixed_offset(offset),
+                ..HoppConfig::default()
+            }),
+            base,
+        );
+    }
+
+    // The adaptive controller steers the offset from timeliness.
+    run("dynamic offset", SystemConfig::hopp_default(), base);
+
+    // Intensity: pages issued per hot page.
+    println!();
+    for intensity in [1u32, 2, 4] {
+        run(
+            &format!("intensity {intensity} (dyn)"),
+            SystemConfig::hopp_with(HoppConfig {
+                policy: PolicyConfig {
+                    intensity,
+                    ..PolicyConfig::default()
+                },
+                ..HoppConfig::default()
+            }),
+            base,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run one workload under Fastswap and under HoPP and
+//! compare completion time, faults and prefetch quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hopp::sim::{run_local, run_workload, BaselineKind, SystemConfig};
+use hopp::workloads::WorkloadKind;
+
+fn main() {
+    let kind = WorkloadKind::Kmeans;
+    let footprint = 4_096; // pages (16 MB)
+    let seed = 42;
+    let ratio = 0.5; // half the working set fits locally
+
+    println!("workload: {} ({footprint} pages, {:.0}% local)", kind.name(), ratio * 100.0);
+
+    let local = run_local(kind, footprint, seed);
+    println!("\nall-local completion: {}", local.completion);
+
+    for system in [
+        SystemConfig::Baseline(BaselineKind::NoPrefetch),
+        SystemConfig::Baseline(BaselineKind::Fastswap),
+        SystemConfig::hopp_default(),
+    ] {
+        let r = run_workload(kind, footprint, seed, system, ratio);
+        let normalized = local.completion.as_nanos() as f64 / r.completion.as_nanos() as f64;
+        println!(
+            "\n[{}]\n  completion: {} (normalized perf {normalized:.3})\n  major faults: {}  prefetch-hits: {}  dram page touches: {}\n  prefetch accuracy: {:.1}%  coverage: {:.1}%",
+            r.system,
+            r.completion,
+            r.counters.major_faults,
+            r.counters.minor_faults,
+            r.counters.dram_hits,
+            r.accuracy() * 100.0,
+            r.coverage() * 100.0,
+        );
+        if let Some(h) = r.hopp {
+            println!(
+                "  hopp data path: {} pages injected, {} hit as DRAM-hits, mean timeliness {}",
+                h.prefetched, h.prefetch_hits, h.mean_timeliness
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Smoke tests over every experiment generator at a tiny scale: each
+//! must run, and the qualitative relationships the paper claims must
+//! hold even at this size. This is the regression net under the
+//! `experiments` binary.
+
+use hopp_bench::experiments as ex;
+use hopp_bench::Scale;
+use hopp_workloads::WorkloadKind;
+
+fn tiny() -> Scale {
+    Scale {
+        footprint: 768,
+        spark_footprint: 768,
+        seed: 5,
+    }
+}
+
+#[test]
+fn table2_ratio_is_positive_and_bounded() {
+    for (kind, series) in ex::table2(&tiny()) {
+        for (n, ratio) in series {
+            assert!(
+                (0.0..=100.0).contains(&ratio),
+                "{} N={n}: ratio {ratio}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_is_monotone_in_capacity() {
+    for (kind, series) in ex::table3(&tiny()) {
+        for w in series.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 0.02,
+                "{}: hit rate fell from {} ({}KB) to {} ({}KB)",
+                kind.name(),
+                w[0].1,
+                w[0].0,
+                w[1].1,
+                w[1].0
+            );
+        }
+    }
+}
+
+#[test]
+fn table5_overheads_are_fractions_of_a_percent() {
+    for (kind, hpd, rpt) in ex::table5(&tiny()) {
+        assert!(hpd > 0.0 && hpd < 2.0, "{}: HPD {hpd}%", kind.name());
+        assert!((0.0..1.0).contains(&rpt), "{}: RPT {rpt}%", kind.name());
+        assert!(hpd > rpt, "{}: HPD must dominate RPT traffic", kind.name());
+    }
+}
+
+#[test]
+fn fig9_hopp_never_loses_to_fastswap() {
+    let (half, quarter) = ex::fig9_matrix(&tiny());
+    for rec in half.iter().chain(&quarter) {
+        let fs = rec.normalized(&rec.fastswap);
+        let hp = rec.normalized(&rec.hopp);
+        assert!(
+            hp >= fs - 0.03,
+            "{} @{:.0}%: hopp {hp:.3} vs fastswap {fs:.3}",
+            rec.workload.name(),
+            rec.ratio * 100.0
+        );
+    }
+}
+
+#[test]
+fn fig12_spark_group_runs_and_hopp_leads() {
+    let recs = ex::fig12_matrix(&tiny());
+    assert_eq!(recs.len(), WorkloadKind::SPARK.len());
+    let avg_fs: f64 = recs.iter().map(|r| r.normalized(&r.fastswap)).sum::<f64>() / recs.len() as f64;
+    let avg_hp: f64 = recs.iter().map(|r| r.normalized(&r.hopp)).sum::<f64>() / recs.len() as f64;
+    assert!(avg_hp > avg_fs, "hopp {avg_hp:.3} vs fastswap {avg_fs:.3}");
+}
+
+#[test]
+fn fig15_every_coscheduled_app_speeds_up() {
+    for (pair, speedups) in ex::fig15(&tiny()) {
+        for (kind, s) in speedups {
+            assert!(s > 0.95, "{pair}: {} speedup {s:.3}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn fig16_17_depth_n_pays_in_remote_traffic() {
+    let rows = ex::fig16_17(&tiny());
+    for row in &rows {
+        for (name, np, remote) in &row.systems {
+            assert!(*np > 0.0 && *np <= 1.05, "{} {name}: np {np}", row.workload.name());
+            assert!(*remote > 0.0, "{} {name}", row.workload.name());
+        }
+    }
+    // The Depth-32 blow-up on FT survives scaling down.
+    let ft = rows
+        .iter()
+        .find(|r| r.workload == WorkloadKind::NpbFt)
+        .expect("FT present");
+    let d32 = ft.systems.iter().find(|(n, _, _)| *n == "Depth-32").unwrap();
+    let hopp = ft.systems.iter().find(|(n, _, _)| *n == "HoPP").unwrap();
+    assert!(
+        d32.2 > hopp.2,
+        "Depth-32 remote {} should exceed HoPP {}",
+        d32.2,
+        hopp.2
+    );
+}
+
+#[test]
+fn fig18_20_tiers_never_hurt_much_and_stay_accurate() {
+    for row in ex::fig18_20(&tiny()) {
+        assert!(
+            row.speedup[2] >= row.speedup[0] - 0.05,
+            "{}: full tiers {:?} vs ssp-only",
+            row.workload.name(),
+            row.speedup
+        );
+        for (i, acc) in row.tier_accuracy.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(acc),
+                "{} tier {i}: accuracy {acc}",
+                row.workload.name()
+            );
+        }
+        let total_cov: f64 = row.tier_coverage.iter().sum();
+        assert!(total_cov <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn fig21_points_are_well_formed() {
+    let points = ex::fig21(&tiny());
+    assert_eq!(points.len(), 2 * (WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len()));
+    for p in points {
+        assert!((0.0..=1.0).contains(&p.accuracy));
+        assert!((0.0..=1.0).contains(&p.coverage));
+        assert!(p.normalized > 0.0 && p.normalized <= 1.05);
+    }
+}
+
+#[test]
+fn fig22_orderings_hold() {
+    let rows = ex::fig22(&tiny());
+    let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
+    assert!(get("Leap") < 0.0, "Leap loses to Fastswap under concurrency");
+    assert!(get("HoPP (dynamic)") > get("VMA"));
+    assert!(get("HoPP (dynamic)") > get("Leap"));
+    // Under volatility the controller beats the pinned offset.
+    let volatile = ex::fig22_volatile(&tiny());
+    let getv = |name: &str| volatile.iter().find(|(n, _)| *n == name).unwrap().1;
+    assert!(getv("HoPP (dynamic)") > getv("HoPP (offset=20K)"));
+}
+
+#[test]
+fn motivate_full_trace_beats_leap() {
+    for (kind, leap, full) in ex::motivate(&tiny()) {
+        assert!(
+            full[1] >= leap[1],
+            "{}: full-trace coverage {} < leap {}",
+            kind.name(),
+            full[1],
+            leap[1]
+        );
+    }
+}
+
+#[test]
+fn warmup_shows_hopp_quieting_down() {
+    let data = ex::warmup(&tiny());
+    let hopp = &data.iter().find(|(n, _)| *n == "HoPP").unwrap().1;
+    let fastswap = &data.iter().find(|(n, _)| *n == "Fastswap").unwrap().1;
+    let tail = hopp.len() / 2;
+    let hopp_late: u64 = hopp[tail..].iter().sum();
+    let fs_late: u64 = fastswap[tail..].iter().sum();
+    assert!(
+        hopp_late < fs_late,
+        "trained HoPP ({hopp_late}) must fault less than Fastswap ({fs_late})"
+    );
+}
+
+#[test]
+fn extension_sweeps_run_at_tiny_scale() {
+    // These must not panic and must produce rows; their stronger claims
+    // are validated at full scale by the experiments binary.
+    assert!(!ex::intensity_sweep(&tiny()).is_empty());
+    assert!(!ex::channels_sweep(&tiny()).is_empty());
+    assert!(!ex::hugepage_study(&tiny()).is_empty());
+    assert!(!ex::markov_study(&tiny()).is_empty());
+    assert!(!ex::reclaim_study(&tiny()).is_empty());
+    assert!(!ex::stt_sensitivity(&tiny()).is_empty());
+    assert!(!ex::leap_window(&tiny()).is_empty());
+}
+
+#[test]
+fn hwcost_reports_paper_constants() {
+    let rows = ex::hwcost();
+    assert!((rows[0].1 - 0.000252).abs() < 1e-9);
+    assert!((rows[0].2 - 0.0959).abs() < 1e-9);
+    assert!((rows[1].1 - 0.0673).abs() < 1e-9);
+    assert!((rows[1].2 - 21.4).abs() < 1e-9);
+}

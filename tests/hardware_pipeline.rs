@@ -1,0 +1,132 @@
+//! Integration of the hardware pipeline with the memory substrate:
+//! kernel-maintained page tables feed the RPT via PTE hooks, the LLC
+//! filters the miss stream, and hot pages come out with the right
+//! identities — across the `hopp-mem`, `hopp-trace` and `hopp-hw`
+//! crates.
+
+use hopp::hw::{HpdConfig, McPipeline, RptCacheConfig};
+use hopp::mem::{AddressSpace, FrameAllocator};
+use hopp::trace::llc::{LastLevelCache, LlcConfig};
+use hopp::types::{AccessKind, HotPage, Nanos, Pid, SwapSlot, Vpn};
+
+/// A miniature machine: 64 frames, a tiny LLC, the MC pipeline.
+struct Rig {
+    frames: FrameAllocator,
+    space: AddressSpace,
+    llc: LastLevelCache,
+    mc: McPipeline,
+    clock: u64,
+}
+
+impl Rig {
+    fn new() -> Self {
+        Rig {
+            frames: FrameAllocator::new(64),
+            space: AddressSpace::new(Pid::new(9)),
+            llc: LastLevelCache::new(LlcConfig::tiny()).unwrap(),
+            mc: McPipeline::new(HpdConfig::default(), RptCacheConfig::default()).unwrap(),
+            clock: 0,
+        }
+    }
+
+    fn map(&mut self, vpn: u64) {
+        let ppn = self.frames.alloc(Pid::new(9), Vpn::new(vpn)).unwrap();
+        self.space.map_present(Vpn::new(vpn), ppn, &mut self.mc);
+    }
+
+    /// Touches `lines` cachelines of a mapped page; returns hot events.
+    fn touch(&mut self, vpn: u64, lines: u8) -> Vec<HotPage> {
+        let mapping = self.space.lookup(Vpn::new(vpn)).expect("mapped");
+        let hopp_mem_pte = match mapping {
+            hopp::mem::Mapping::Present(pte) => pte,
+            hopp::mem::Mapping::Swapped(_) => panic!("page swapped"),
+        };
+        let mut hot = Vec::new();
+        for line in 0..lines {
+            self.clock += 100;
+            let addr = hopp_mem_pte.ppn.line(line);
+            if !self.llc.access(addr, AccessKind::Read) {
+                if let Some(h) =
+                    self.mc
+                        .on_llc_miss(addr, AccessKind::Read, Nanos::from_nanos(self.clock))
+                {
+                    hot.push(h);
+                }
+            }
+        }
+        hot
+    }
+}
+
+#[test]
+fn mapped_pages_become_hot_with_correct_identity() {
+    let mut rig = Rig::new();
+    for vpn in 100..110 {
+        rig.map(vpn);
+    }
+    let mut all_hot = Vec::new();
+    for vpn in 100..110 {
+        all_hot.extend(rig.touch(vpn, 16));
+    }
+    assert_eq!(all_hot.len(), 10, "each page crosses the threshold once");
+    for (i, hot) in all_hot.iter().enumerate() {
+        assert_eq!(hot.pid, Pid::new(9));
+        assert_eq!(hot.vpn, Vpn::new(100 + i as u64));
+    }
+}
+
+#[test]
+fn llc_hits_are_invisible_to_the_mc() {
+    let mut rig = Rig::new();
+    rig.map(5);
+    // First pass: 16 cold misses -> hot at the 8th.
+    assert_eq!(rig.touch(5, 16).len(), 1);
+    let before = rig.mc.hpd().stats().reads;
+    // Second pass: all lines now hit in the LLC; no misses reach HPD.
+    assert!(rig.touch(5, 16).is_empty());
+    assert_eq!(rig.mc.hpd().stats().reads, before);
+}
+
+#[test]
+fn swap_out_updates_rpt_through_the_hook() {
+    let mut rig = Rig::new();
+    rig.map(7);
+    assert_eq!(rig.touch(7, 8).len(), 1);
+    // The kernel reclaims the page: pte_clear flows into the RPT.
+    let pte = rig
+        .space
+        .swap_out(Vpn::new(7), SwapSlot::new(0), &mut rig.mc)
+        .unwrap();
+    rig.llc.invalidate_page(pte.ppn);
+    rig.mc.on_page_reclaimed(pte.ppn);
+    rig.frames.free(pte.ppn).unwrap();
+
+    // The frame is recycled for a different page of the same process.
+    let ppn2 = rig.frames.alloc(Pid::new(9), Vpn::new(400)).unwrap();
+    assert_eq!(ppn2, pte.ppn, "LIFO frame reuse");
+    rig.space.map_present(Vpn::new(400), ppn2, &mut rig.mc);
+    let hot = rig.touch(400, 16);
+    assert_eq!(hot.len(), 1);
+    assert_eq!(hot[0].vpn, Vpn::new(400), "RPT resolves the new owner");
+}
+
+#[test]
+fn rpt_bootstrap_covers_preexisting_mappings() {
+    let mut frames = FrameAllocator::new(16);
+    let mut space = AddressSpace::new(Pid::new(3));
+    // Pages mapped *before* HoPP starts: no hooks ran.
+    let mut quiet_mc = ();
+    for vpn in 0..4u64 {
+        let ppn = frames.alloc(Pid::new(3), Vpn::new(vpn)).unwrap();
+        space.map_present(Vpn::new(vpn), ppn, &mut quiet_mc);
+    }
+    // HoPP boots: it walks the page tables (the frame owner table).
+    let mut mc = McPipeline::new(HpdConfig::with_threshold(1), RptCacheConfig::default()).unwrap();
+    mc.bootstrap_rpt(frames.iter_owned());
+    let hot = mc.on_llc_miss(
+        hopp::types::Ppn::new(2).line(0),
+        AccessKind::Read,
+        Nanos::ZERO,
+    );
+    assert_eq!(hot.unwrap().vpn, Vpn::new(2));
+}

@@ -1,0 +1,153 @@
+//! Prefetch-quality invariants across the whole workload catalogue:
+//! the qualitative claims of §VI must hold for every workload, not just
+//! the ones the figures highlight.
+
+use hopp::sim::{run_workload, BaselineKind, SystemConfig};
+use hopp::workloads::WorkloadKind;
+
+const FP: u64 = 512;
+const SEED: u64 = 7;
+
+#[test]
+fn every_workload_runs_under_every_system() {
+    for kind in WorkloadKind::ALL {
+        for system in [
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            SystemConfig::hopp_default(),
+        ] {
+            let r = run_workload(kind, FP, SEED, system, 0.5);
+            assert!(r.counters.accesses > 0, "{} under {}", kind.name(), r.system);
+            assert!(
+                r.completion > hopp::types::Nanos::ZERO,
+                "{} under {}",
+                kind.name(),
+                r.system
+            );
+        }
+    }
+}
+
+#[test]
+fn hopp_never_loses_badly_to_fastswap() {
+    // The paper's claim is that HoPP complements Fastswap; it must not
+    // regress any workload by more than a few percent (prediction
+    // overhead on hostile patterns is bounded by the dedupe checks).
+    for kind in WorkloadKind::ALL {
+        let fs = run_workload(
+            kind,
+            FP,
+            SEED,
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            0.5,
+        );
+        let hp = run_workload(kind, FP, SEED, SystemConfig::hopp_default(), 0.5);
+        let ratio = hp.completion.as_nanos() as f64 / fs.completion.as_nanos() as f64;
+        assert!(
+            ratio < 1.10,
+            "{}: hopp/fastswap completion ratio {ratio:.3}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn hopp_coverage_dominates_fastswap_on_non_jvm() {
+    for kind in WorkloadKind::NON_JVM {
+        let fs = run_workload(
+            kind,
+            FP,
+            SEED,
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            0.5,
+        );
+        let hp = run_workload(kind, FP, SEED, SystemConfig::hopp_default(), 0.5);
+        assert!(
+            hp.coverage() >= fs.coverage() - 0.02,
+            "{}: hopp coverage {:.3} < fastswap {:.3}",
+            kind.name(),
+            hp.coverage(),
+            fs.coverage()
+        );
+    }
+}
+
+#[test]
+fn injected_pages_show_up_as_dram_hit_coverage() {
+    let hp = run_workload(
+        WorkloadKind::Kmeans,
+        FP,
+        SEED,
+        SystemConfig::hopp_default(),
+        0.5,
+    );
+    assert!(
+        hp.coverage_injected() > hp.coverage_swapcache(),
+        "on a clean stream, HoPP's own data path should dominate: inj {:.3} sc {:.3}",
+        hp.coverage_injected(),
+        hp.coverage_swapcache()
+    );
+}
+
+#[test]
+fn jvm_workloads_have_lower_coverage_than_native_streams() {
+    // §VI-B: JVM memory management fragments the streams.
+    let native = run_workload(
+        WorkloadKind::Kmeans,
+        FP,
+        SEED,
+        SystemConfig::hopp_default(),
+        0.5,
+    );
+    let jvm = run_workload(
+        WorkloadKind::SparkBayes,
+        FP,
+        SEED,
+        SystemConfig::hopp_default(),
+        0.5,
+    );
+    assert!(
+        jvm.coverage() < native.coverage(),
+        "jvm {:.3} vs native {:.3}",
+        jvm.coverage(),
+        native.coverage()
+    );
+}
+
+#[test]
+fn leap_confused_by_interleaved_streams_microbenchmark() {
+    // §VI-E: with two concurrent scan threads, Leap's fault-window
+    // stride detection computes wrong strides and underperforms even
+    // plain Fastswap.
+    let leap = run_workload(
+        WorkloadKind::Microbench,
+        FP,
+        SEED,
+        SystemConfig::Baseline(BaselineKind::Leap),
+        0.5,
+    );
+    let fs = run_workload(
+        WorkloadKind::Microbench,
+        FP,
+        SEED,
+        SystemConfig::Baseline(BaselineKind::Fastswap),
+        0.5,
+    );
+    assert!(leap.completion > fs.completion);
+}
+
+#[test]
+fn timeliness_is_measured_for_hopp_hits() {
+    let hp = run_workload(
+        WorkloadKind::Kmeans,
+        FP,
+        SEED,
+        SystemConfig::hopp_default(),
+        0.5,
+    );
+    let m = hp.hopp.expect("hopp ran");
+    assert!(m.prefetch_hits > 0);
+    assert!(
+        m.mean_timeliness > hopp::types::Nanos::ZERO,
+        "hits arrive before use, so timeliness is positive"
+    );
+}

@@ -1,0 +1,290 @@
+//! Property-based tests of the core data-structure invariants.
+
+use hopp::core::metrics::PrefetchMetrics;
+use hopp::core::policy::{PolicyConfig, PolicyEngine};
+use hopp::core::stt::{StreamTrainingTable, SttConfig};
+use hopp::core::{MarkovConfig, MarkovEngine};
+use hopp::hw::rtl::HpdRtl;
+use hopp::hw::{HotPageDetector, HpdConfig};
+use hopp::kernel::{LruLists, LruTier, SwapDevice};
+use hopp::net::CompletionQueue;
+use hopp::trace::hmtt::{file as hmtt_file, HmttRecord};
+use hopp::trace::llc::{LastLevelCache, LlcConfig};
+use hopp::types::{AccessKind, HotPage, LineAccess, LineAddr, Nanos, PageFlags, Pid, Ppn, Vpn};
+use proptest::prelude::*;
+
+proptest! {
+    /// The HPD can never emit more hot pages than reads/N: every
+    /// emission consumes at least `N` read misses of that page since
+    /// its (re-)insertion.
+    #[test]
+    fn hpd_hot_pages_bounded_by_reads_over_n(
+        accesses in prop::collection::vec((0u64..64, 0u8..64, any::<bool>()), 0..2_000),
+        n in 1u32..=32,
+    ) {
+        let mut hpd = HotPageDetector::new(HpdConfig::with_threshold(n)).unwrap();
+        for (page, line, is_read) in accesses {
+            let kind = if is_read { AccessKind::Read } else { AccessKind::Write };
+            hpd.on_miss(Ppn::new(page).line(line), kind);
+        }
+        let s = hpd.stats();
+        prop_assert!(s.hot_pages <= s.reads / u64::from(n));
+    }
+
+    /// Immediately re-accessing a line always hits the LLC.
+    #[test]
+    fn llc_immediate_reaccess_hits(
+        lines in prop::collection::vec((0u64..10_000, 0u8..64), 1..500),
+    ) {
+        let mut llc = LastLevelCache::new(LlcConfig::tiny()).unwrap();
+        for (page, line) in lines {
+            let addr = Ppn::new(page).line(line);
+            llc.access(addr, AccessKind::Read);
+            prop_assert!(llc.access(addr, AccessKind::Read));
+        }
+    }
+
+    /// LLC stats partition the accesses.
+    #[test]
+    fn llc_stats_partition(
+        lines in prop::collection::vec(0u64..100_000, 0..1_000),
+    ) {
+        let mut llc = LastLevelCache::new(LlcConfig::tiny()).unwrap();
+        for raw in &lines {
+            llc.access(hopp::types::LineAddr::new(*raw), AccessKind::Read);
+        }
+        let s = llc.stats();
+        prop_assert_eq!(s.total(), lines.len() as u64);
+    }
+
+    /// Untouched inactive pages leave the LRU in insertion order, and
+    /// every inactive page leaves before any active page.
+    #[test]
+    fn lru_eviction_order(pages in prop::collection::vec((0u64..1_000, any::<bool>()), 0..200)) {
+        let mut lru = LruLists::new();
+        let mut expect_inactive = Vec::new();
+        let mut expect_active = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (p, active) in pages {
+            if !seen.insert(p) {
+                continue; // re-inserts would reorder; keep the model simple
+            }
+            let tier = if active { LruTier::Active } else { LruTier::Inactive };
+            lru.insert(Ppn::new(p), tier);
+            if active {
+                expect_active.push(Ppn::new(p));
+            } else {
+                expect_inactive.push(Ppn::new(p));
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(ppn) = lru.pop_evict() {
+            order.push(ppn);
+        }
+        expect_inactive.extend(expect_active);
+        prop_assert_eq!(order, expect_inactive);
+    }
+
+    /// Live swap slots are always unique.
+    #[test]
+    fn swap_slots_are_unique(ops in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut dev = SwapDevice::new();
+        let mut live: Vec<hopp::types::SwapSlot> = Vec::new();
+        let mut i = 0u64;
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                i += 1;
+                let slot = dev.alloc(Pid::new(1), Vpn::new(i)).unwrap();
+                prop_assert!(!live.contains(&slot), "slot reused while live");
+                live.push(slot);
+            } else {
+                let slot = live.swap_remove(i as usize % live.len());
+                dev.free(slot);
+            }
+        }
+        prop_assert_eq!(dev.used_slots(), live.len());
+    }
+
+    /// Completions pop in nondecreasing due-time order.
+    #[test]
+    fn completion_queue_is_time_ordered(
+        dues in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut cq = CompletionQueue::new();
+        for (i, d) in dues.iter().enumerate() {
+            cq.push(Nanos::from_nanos(*d), i);
+        }
+        let mut last = Nanos::ZERO;
+        while let Some((due, _)) = cq.pop_any() {
+            prop_assert!(due >= last);
+            last = due;
+        }
+    }
+
+    /// Every STT window is internally consistent: `L` VPNs, `L-1`
+    /// strides, each stride the difference of its neighbours, and the
+    /// clustering bound respected between consecutive history entries.
+    #[test]
+    fn stt_windows_are_consistent(
+        vpns in prop::collection::vec(0u64..100_000, 0..500),
+        history in 4usize..=16,
+    ) {
+        let config = SttConfig { history, ..SttConfig::default() };
+        let mut stt = StreamTrainingTable::new(config).unwrap();
+        for (i, v) in vpns.iter().enumerate() {
+            let hot = HotPage {
+                pid: Pid::new(1),
+                vpn: Vpn::new(*v),
+                flags: PageFlags::default(),
+                at: Nanos::from_nanos(i as u64),
+            };
+            if let Some(w) = stt.observe(&hot) {
+                prop_assert_eq!(w.vpn_history.len(), history);
+                prop_assert_eq!(w.stride_history.len(), history - 1);
+                for i in 0..history - 1 {
+                    prop_assert_eq!(
+                        w.stride_history[i],
+                        w.vpn_history[i + 1].stride_from(w.vpn_history[i])
+                    );
+                    prop_assert!(
+                        w.stride_history[i].unsigned_abs() <= config.delta_stream,
+                        "clustering bound violated"
+                    );
+                    prop_assert_ne!(w.stride_history[i], 0, "duplicates are deduped");
+                }
+                prop_assert_eq!(w.vpn_a(), Vpn::new(*v));
+            }
+        }
+    }
+
+    /// Metrics stay in range whatever the event order.
+    #[test]
+    fn metrics_bounds(ops in prop::collection::vec((0u8..4, 0u64..50), 0..500)) {
+        let mut m = PrefetchMetrics::new();
+        let mut t = 0u64;
+        for (op, page) in ops {
+            t += 1;
+            let (pid, vpn) = (Pid::new(1), Vpn::new(page));
+            match op {
+                0 => m.on_prefetch_arrival(pid, vpn, Nanos::from_nanos(t)),
+                1 => { m.on_first_access(pid, vpn, Nanos::from_nanos(t)); }
+                2 => m.on_demand_remote(),
+                _ => m.on_evicted_unused(pid, vpn),
+            }
+        }
+        prop_assert!(m.prefetch_hits() <= m.prefetched());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.coverage()));
+        prop_assert!(m.pending() as u64 <= m.prefetched());
+    }
+
+    /// Vpn stride/offset roundtrips for arbitrary pairs.
+    #[test]
+    fn vpn_stride_offset_roundtrip(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (va, vb) = (Vpn::new(a), Vpn::new(b));
+        let stride = vb.stride_from(va);
+        prop_assert_eq!(va.offset(stride), Some(vb));
+    }
+
+    /// The RTL HPD emits exactly the behavioural model's hot pages (in
+    /// order) whenever set pressure stays below the associativity, for
+    /// arbitrary access sequences over 32 pages.
+    #[test]
+    fn rtl_hpd_matches_behavioural_without_pressure(
+        accesses in prop::collection::vec((0u64..32, 0u8..64, any::<bool>()), 0..2_000),
+        n in 1u32..=16,
+    ) {
+        let mut behav = HotPageDetector::new(HpdConfig::with_threshold(n)).unwrap();
+        let mut rtl = HpdRtl::new(HpdConfig::with_threshold(n)).unwrap();
+        let mut behav_hot = Vec::new();
+        let mut rtl_hot = Vec::new();
+        for (page, line, is_read) in accesses {
+            let kind = if is_read { AccessKind::Read } else { AccessKind::Write };
+            if let Some(h) = behav.on_miss(Ppn::new(page).line(line), kind) {
+                behav_hot.push(h);
+            }
+            if let Some(h) = rtl.clock(Some((Ppn::new(page).line(line), kind))).hot {
+                rtl_hot.push(h);
+            }
+        }
+        if let Some(h) = rtl.clock(None).hot {
+            rtl_hot.push(h);
+        }
+        prop_assert_eq!(behav_hot, rtl_hot);
+    }
+
+    /// The policy engine's offset stays within `[1, max_offset]` no
+    /// matter what timeliness samples arrive.
+    #[test]
+    fn policy_offset_stays_bounded(samples in prop::collection::vec(0u64..10_000_000, 0..300)) {
+        let config = PolicyConfig::default();
+        let mut pe = PolicyEngine::new(config);
+        // Forge one stream id via a tiny STT.
+        let mut stt = StreamTrainingTable::new(SttConfig { history: 4, ..SttConfig::default() })
+            .unwrap();
+        let mut stream = None;
+        for k in 0..4u64 {
+            stream = stt
+                .observe(&HotPage {
+                    pid: Pid::new(1),
+                    vpn: Vpn::new(k),
+                    flags: PageFlags::default(),
+                    at: Nanos::ZERO,
+                })
+                .map(|w| w.stream)
+                .or(stream);
+        }
+        let stream = stream.unwrap();
+        for t in samples {
+            pe.record_timeliness(stream, Nanos::from_nanos(t));
+            let offset = pe.offset_of(stream);
+            prop_assert!((1.0..=config.max_offset).contains(&offset), "offset {offset}");
+        }
+    }
+
+    /// Markov prediction chains never revisit a page (no infinite
+    /// self-feeding loops), for arbitrary transition training.
+    #[test]
+    fn markov_chains_are_acyclic(
+        seq in prop::collection::vec(0u64..16, 0..300),
+        depth in 1u32..=8,
+    ) {
+        let mut m = MarkovEngine::new(MarkovConfig { depth, ..MarkovConfig::default() });
+        for &v in &seq {
+            let orders = m.on_hot_page(&HotPage {
+                pid: Pid::new(1),
+                vpn: Vpn::new(v),
+                flags: PageFlags::default(),
+                at: Nanos::ZERO,
+            });
+            prop_assert!(orders.len() <= depth as usize);
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(v);
+            for o in &orders {
+                prop_assert!(seen.insert(o.vpn.raw()), "chain revisited {:?}", o.vpn);
+            }
+        }
+    }
+
+    /// HMTT trace files roundtrip arbitrary record sets.
+    #[test]
+    fn hmtt_file_roundtrip(raws in prop::collection::vec(any::<u64>(), 0..200)) {
+        let records: Vec<HmttRecord> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                HmttRecord::capture(
+                    i as u64,
+                    &LineAccess {
+                        addr: LineAddr::new(r),
+                        kind: if r & 1 == 0 { AccessKind::Read } else { AccessKind::Write },
+                        at: Nanos::from_nanos(r % 1_000_000),
+                    },
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        hmtt_file::write(&mut buf, &records).unwrap();
+        prop_assert_eq!(hmtt_file::read(&buf[..]).unwrap(), records);
+    }
+}
