@@ -133,8 +133,12 @@ impl Prefetcher for LeapPrefetcher {
             return;
         };
         for k in 1..=self.depth as i64 {
-            let Some(step) = k.checked_mul(stride) else { break };
-            let Some(vpn) = fault.vpn.offset(step) else { break };
+            let Some(step) = k.checked_mul(stride) else {
+                break;
+            };
+            let Some(vpn) = fault.vpn.offset(step) else {
+                break;
+            };
             out.push(PrefetchRequest {
                 pid: fault.pid,
                 vpn,
@@ -194,7 +198,14 @@ mod tests {
         let mut leap = LeapPrefetcher::new(4, 3);
         let outs = run(
             &mut leap,
-            &[(1, 1_000), (1, 5_001), (1, 1_002), (1, 5_002), (1, 1_004), (1, 5_003)],
+            &[
+                (1, 1_000),
+                (1, 5_001),
+                (1, 1_002),
+                (1, 5_002),
+                (1, 1_004),
+                (1, 5_003),
+            ],
         );
         assert!(
             outs.iter().skip(2).all(|o| o.is_empty()),
@@ -209,7 +220,14 @@ mod tests {
         let mut leap = LeapPrefetcher::new(4, 1);
         let outs = run(
             &mut leap,
-            &[(1, 1_000), (2, 5_001), (1, 1_002), (2, 5_002), (1, 1_004), (2, 5_003)],
+            &[
+                (1, 1_000),
+                (2, 5_001),
+                (1, 1_002),
+                (2, 5_002),
+                (1, 1_004),
+                (2, 5_003),
+            ],
         );
         assert_eq!(outs[4], vec![1_006]);
         assert_eq!(outs[5], vec![5_004]);
@@ -245,8 +263,22 @@ mod tests {
         };
         leap.on_fault(&hit, &NoSlots, &mut out);
         assert_eq!(leap.depth(), 4);
-        leap.on_fault(&FaultInfo { vpn: Vpn::new(104), ..hit }, &NoSlots, &mut out);
-        leap.on_fault(&FaultInfo { vpn: Vpn::new(108), ..hit }, &NoSlots, &mut out);
+        leap.on_fault(
+            &FaultInfo {
+                vpn: Vpn::new(104),
+                ..hit
+            },
+            &NoSlots,
+            &mut out,
+        );
+        leap.on_fault(
+            &FaultInfo {
+                vpn: Vpn::new(108),
+                ..hit
+            },
+            &NoSlots,
+            &mut out,
+        );
         assert_eq!(leap.depth(), 16, "doubles per hit, capped at max");
         let miss = FaultInfo {
             hit_swapcache: false,
@@ -257,7 +289,10 @@ mod tests {
         assert_eq!(leap.depth(), 8);
         for k in 0..6 {
             leap.on_fault(
-                &FaultInfo { vpn: Vpn::new(116 + 4 * k), ..miss },
+                &FaultInfo {
+                    vpn: Vpn::new(116 + 4 * k),
+                    ..miss
+                },
                 &NoSlots,
                 &mut out,
             );
@@ -292,6 +327,9 @@ mod tests {
     fn repeated_fault_address_is_not_a_stride() {
         let mut leap = LeapPrefetcher::new(4, 2);
         let outs = run(&mut leap, &[(1, 5), (1, 5), (1, 5), (1, 5)]);
-        assert!(outs.iter().all(|o| o.is_empty()), "zero stride never prefetches");
+        assert!(
+            outs.iter().all(|o| o.is_empty()),
+            "zero stride never prefetches"
+        );
     }
 }

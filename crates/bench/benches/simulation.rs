@@ -3,110 +3,75 @@
 //! fast. The full-scale regeneration of every table/figure is the
 //! `experiments` binary (`cargo run --release -p hopp-bench --bin
 //! experiments -- all`).
+//!
+//! Plain `std::time::Instant` harness (no crates.io access for
+//! `criterion` in the build environment). Run with
+//! `cargo bench --bench simulation`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use hopp_bench::experiments::{self, Scale};
 use hopp_sim::{run_workload, BaselineKind, SystemConfig};
 use hopp_workloads::WorkloadKind;
 
 const FP: u64 = 512;
+const SAMPLES: u32 = 10;
 
-fn bench_fig9_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_normperf");
-    group.sample_size(10);
-    group.bench_function("kmeans_fastswap_50", |b| {
-        b.iter(|| {
-            black_box(run_workload(
-                WorkloadKind::Kmeans,
-                FP,
-                42,
-                SystemConfig::Baseline(BaselineKind::Fastswap),
-                0.5,
-            ))
-        })
-    });
-    group.bench_function("kmeans_hopp_50", |b| {
-        b.iter(|| {
-            black_box(run_workload(
-                WorkloadKind::Kmeans,
-                FP,
-                42,
-                SystemConfig::hopp_default(),
-                0.5,
-            ))
-        })
-    });
-    group.finish();
+fn scale() -> Scale {
+    Scale {
+        footprint: FP,
+        spark_footprint: FP,
+        seed: 42,
+    }
 }
 
-fn bench_table2_hpd_ratio(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_hpd_ratio");
-    group.sample_size(10);
-    group.bench_function("kmeans_sweep", |b| {
-        b.iter(|| {
-            black_box(experiments::table2(&Scale {
-                footprint: FP,
-                spark_footprint: FP,
-                seed: 42,
-            }))
-        })
-    });
-    group.finish();
+/// Runs `op` `SAMPLES` times and prints the mean wall time.
+fn bench(name: &str, mut op: impl FnMut()) {
+    op(); // warm-up
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        op();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(SAMPLES);
+    println!("{name:<32} {ms:>9.2} ms/run ({SAMPLES} samples)");
 }
 
-fn bench_table3_rpt_hit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_rpt_hit");
-    group.sample_size(10);
-    group.bench_function("sweep", |b| {
-        b.iter(|| {
-            black_box(experiments::table3(&Scale {
-                footprint: FP,
-                spark_footprint: FP,
-                seed: 42,
-            }))
-        })
+fn main() {
+    bench("fig9/kmeans_fastswap_50", || {
+        black_box(run_workload(
+            WorkloadKind::Kmeans,
+            FP,
+            42,
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            0.5,
+        ));
     });
-    group.finish();
-}
-
-fn bench_fig18_tiers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig18_tiers");
-    group.sample_size(10);
-    group.bench_function("mg_three_tier", |b| {
-        b.iter(|| {
-            black_box(run_workload(
-                WorkloadKind::NpbMg,
-                FP,
-                42,
-                SystemConfig::hopp_default(),
-                0.5,
-            ))
-        })
+    bench("fig9/kmeans_hopp_50", || {
+        black_box(run_workload(
+            WorkloadKind::Kmeans,
+            FP,
+            42,
+            SystemConfig::hopp_default(),
+            0.5,
+        ));
     });
-    group.finish();
-}
-
-fn bench_fig22_techniques(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig22_techniques");
-    group.sample_size(10);
-    group.bench_function("microbench_suite", |b| {
-        b.iter(|| {
-            black_box(experiments::fig22(&Scale {
-                footprint: FP,
-                spark_footprint: FP,
-                seed: 42,
-            }))
-        })
+    bench("table2/kmeans_sweep", || {
+        black_box(experiments::table2(&scale()));
     });
-    group.finish();
+    bench("table3/rpt_hit_sweep", || {
+        black_box(experiments::table3(&scale()));
+    });
+    bench("fig18/mg_three_tier", || {
+        black_box(run_workload(
+            WorkloadKind::NpbMg,
+            FP,
+            42,
+            SystemConfig::hopp_default(),
+            0.5,
+        ));
+    });
+    bench("fig22/microbench_suite", || {
+        black_box(experiments::fig22(&scale()));
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_fig9_runs,
-    bench_table2_hpd_ratio,
-    bench_table3_rpt_hit,
-    bench_fig18_tiers,
-    bench_fig22_techniques
-);
-criterion_main!(benches);

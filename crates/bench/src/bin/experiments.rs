@@ -26,10 +26,35 @@ fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     }
 }
 
-const ALL: [&str; 27] = [
-    "table2", "table3", "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "motivate", "intensity",
-    "channels", "hugepage", "markov", "reclaim", "sensitivity", "scale", "warmup", "leapwin",
+const ALL: [&str; 28] = [
+    "table2",
+    "table3",
+    "table5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "motivate",
+    "intensity",
+    "channels",
+    "hugepage",
+    "markov",
+    "reclaim",
+    "sensitivity",
+    "scale",
+    "warmup",
+    "leapwin",
+    "latency",
 ];
 
 fn main() {
@@ -56,7 +81,11 @@ fn main() {
         }
         i += 1;
     }
-    let mut scale = if quick { Scale::quick() } else { Scale::default() };
+    let mut scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::default()
+    };
     for (flag, v) in &overrides {
         match flag.as_str() {
             "--seed" => scale.seed = *v,
@@ -105,6 +134,7 @@ fn run(name: &str, scale: &Scale) {
         "scale" => scale_robustness(),
         "warmup" => warmup(scale),
         "leapwin" => leapwin(scale),
+        "latency" => latency(scale),
         "hwcost" => hwcost(),
         other => eprintln!("unknown experiment: {other}"),
     }
@@ -201,7 +231,10 @@ fn fig9_to_11(scale: &Scale, which: &str) {
                         r.normalized(&r.hopp),
                     ));
                 }
-                println!("\nnormalized performance @50% local:\n{}", bar_chart(&items, 40));
+                println!(
+                    "\nnormalized performance @50% local:\n{}",
+                    bar_chart(&items, 40)
+                );
             }
         }
         "fig10" => {
@@ -220,7 +253,13 @@ fn fig9_to_11(scale: &Scale, which: &str) {
         }
         _ => {
             println!("\n## Fig 11 — prefetch coverage, non-JVM workloads (50% local)\n");
-            let header = ["workload", "Fastswap", "HoPP total", "HoPP swapcache", "HoPP DRAM-hit"];
+            let header = [
+                "workload",
+                "Fastswap",
+                "HoPP total",
+                "HoPP swapcache",
+                "HoPP DRAM-hit",
+            ];
             let rows: Vec<Vec<String>> = half
                 .iter()
                 .map(|r| {
@@ -291,7 +330,11 @@ fn fig15(scale: &Scale) {
     let mut rows = Vec::new();
     for (pair, speedups) in ex::fig15(scale) {
         for (kind, s) in speedups {
-            rows.push(vec![pair.clone(), kind.name().to_string(), format!("{s:.2}x")]);
+            rows.push(vec![
+                pair.clone(),
+                kind.name().to_string(),
+                format!("{s:.2}x"),
+            ]);
         }
     }
     print!("{}", render(&["pair", "app", "speedup"], &rows));
@@ -312,9 +355,7 @@ fn fig16_17(scale: &Scale, which: &str) {
             .collect();
         print!("{}", render(&header, &rows));
     } else {
-        println!(
-            "\n## Fig 17 — remote accesses normalized to Fastswap-without-prefetching\n"
-        );
+        println!("\n## Fig 17 — remote accesses normalized to Fastswap-without-prefetching\n");
         let header = ["workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"];
         let rows: Vec<Vec<String>> = data
             .iter()
@@ -398,12 +439,17 @@ fn fig21(scale: &Scale) {
         .collect();
     print!(
         "{}",
-        render(&["workload", "system", "accuracy", "coverage", "norm-perf"], &rows)
+        render(
+            &["workload", "system", "accuracy", "coverage", "norm-perf"],
+            &rows
+        )
     );
 }
 
 fn fig22(scale: &Scale) {
-    println!("\n## Fig 22 — technique ablation on the §VI-E microbenchmark (speedup vs Fastswap)\n");
+    println!(
+        "\n## Fig 22 — technique ablation on the §VI-E microbenchmark (speedup vs Fastswap)\n"
+    );
     let rows: Vec<Vec<String>> = ex::fig22(scale)
         .into_iter()
         .map(|(name, s)| vec![name.to_string(), pct(s)])
@@ -421,7 +467,10 @@ fn fig22(scale: &Scale) {
         .into_iter()
         .map(|(name, s)| vec![name.to_string(), pct(s)])
         .collect();
-    print!("{}", render(&["system", "speedup vs Fastswap (volatile)"], &rows));
+    print!(
+        "{}",
+        render(&["system", "speedup vs Fastswap (volatile)"], &rows)
+    );
 }
 
 fn motivate(scale: &Scale) {
@@ -441,7 +490,13 @@ fn motivate(scale: &Scale) {
     print!(
         "{}",
         render(
-            &["workload", "Leap acc", "Leap cov", "full-trace acc", "full-trace cov"],
+            &[
+                "workload",
+                "Leap acc",
+                "Leap cov",
+                "full-trace acc",
+                "full-trace cov"
+            ],
             &rows
         )
     );
@@ -464,7 +519,13 @@ fn intensity(scale: &Scale) {
     print!(
         "{}",
         render(
-            &["workload", "intensity", "norm-perf", "cov swapcache", "cov DRAM-hit"],
+            &[
+                "workload",
+                "intensity",
+                "norm-perf",
+                "cov swapcache",
+                "cov DRAM-hit"
+            ],
             &rows
         )
     );
@@ -486,7 +547,10 @@ fn channels(scale: &Scale) {
     }
     print!(
         "{}",
-        render(&["workload", "channels", "hot ratio", "coverage", "norm-perf"], &rows)
+        render(
+            &["workload", "channels", "hot ratio", "coverage", "norm-perf"],
+            &rows
+        )
     );
 }
 
@@ -497,7 +561,12 @@ fn hugepage(scale: &Scale) {
         .map(|(kind, batching, np, reads, pages)| {
             vec![
                 kind.name().to_string(),
-                if batching { "2MB batches" } else { "page-by-page" }.to_string(),
+                if batching {
+                    "2MB batches"
+                } else {
+                    "page-by-page"
+                }
+                .to_string(),
                 frac(np),
                 reads.to_string(),
                 pages.to_string(),
@@ -507,7 +576,13 @@ fn hugepage(scale: &Scale) {
     print!(
         "{}",
         render(
-            &["workload", "mode", "norm-perf", "rdma requests", "pages moved"],
+            &[
+                "workload",
+                "mode",
+                "norm-perf",
+                "rdma requests",
+                "pages moved"
+            ],
             &rows
         )
     );
@@ -529,7 +604,10 @@ fn markov(scale: &Scale) {
     }
     print!(
         "{}",
-        render(&["workload", "trainer", "accuracy", "coverage", "norm-perf"], &rows)
+        render(
+            &["workload", "trainer", "accuracy", "coverage", "norm-perf"],
+            &rows
+        )
     );
 }
 
@@ -548,7 +626,10 @@ fn reclaim(scale: &Scale) {
     }
     print!(
         "{}",
-        render(&["workload", "hot window", "major faults", "norm-perf"], &rows)
+        render(
+            &["workload", "hot window", "major faults", "norm-perf"],
+            &rows
+        )
     );
 }
 
@@ -590,7 +671,14 @@ fn scale_robustness() {
     print!(
         "{}",
         render(
-            &["footprint", "seed", "workload", "fastswap", "hopp", "hopp/fastswap"],
+            &[
+                "footprint",
+                "seed",
+                "workload",
+                "fastswap",
+                "hopp",
+                "hopp/fastswap"
+            ],
             &rows
         )
     );
@@ -631,19 +719,32 @@ fn leapwin(scale: &Scale) {
     print!(
         "{}",
         render(
-            &["workload", "fixed cov", "adaptive cov", "fixed perf", "adaptive perf"],
+            &[
+                "workload",
+                "fixed cov",
+                "adaptive cov",
+                "fixed perf",
+                "adaptive perf"
+            ],
             &rows
         )
     );
+}
+
+fn latency(scale: &Scale) {
+    println!("\n## Observability — latency distributions (kmeans, 50% local)\n");
+    for (system, summaries) in ex::latency_study(scale) {
+        println!("### {system}\n");
+        print!("{}", hopp_bench::format::latency_table(&summaries));
+        println!();
+    }
 }
 
 fn hwcost() {
     println!("\n## §VI-F — hardware cost (CACTI 3.0, 22nm)\n");
     let rows: Vec<Vec<String>> = ex::hwcost()
         .into_iter()
-        .map(|(name, area, power)| {
-            vec![name, format!("{area:.6} mm^2"), format!("{power:.4} mW")]
-        })
+        .map(|(name, area, power)| vec![name, format!("{area:.6} mm^2"), format!("{power:.4} mW")])
         .collect();
     print!("{}", render(&["module", "area", "static power"], &rows));
 }

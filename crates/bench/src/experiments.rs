@@ -1,7 +1,7 @@
 //! The experiment generators (one per table/figure).
 
-use hopp_core::{HoppConfig, PolicyConfig};
 use hopp_core::three_tier::TierConfig;
+use hopp_core::{HoppConfig, PolicyConfig};
 use hopp_hw::{HpdConfig, HwCostModel, RptCacheConfig};
 use hopp_sim::{
     run_local, run_workload, run_workload_with, AppSpec, BaselineKind, SimConfig, SimReport,
@@ -122,13 +122,8 @@ pub fn table2(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64)>)> {
                         hpd: HpdConfig::with_threshold(n),
                         ..SimConfig::with_system(SystemConfig::hopp_default())
                     };
-                    let report = run_workload_with(
-                        config,
-                        kind,
-                        scale.footprint_of(kind),
-                        scale.seed,
-                        0.5,
-                    );
+                    let report =
+                        run_workload_with(config, kind, scale.footprint_of(kind), scale.seed, 0.5);
                     (n, report.hpd.hot_ratio() * 100.0)
                 })
                 .collect();
@@ -151,13 +146,8 @@ pub fn table3(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, f64)>)> {
                         rpt: RptCacheConfig::with_kib(kib),
                         ..SimConfig::with_system(SystemConfig::hopp_default())
                     };
-                    let report = run_workload_with(
-                        config,
-                        kind,
-                        scale.footprint_of(kind),
-                        scale.seed,
-                        0.5,
-                    );
+                    let report =
+                        run_workload_with(config, kind, scale.footprint_of(kind), scale.seed, 0.5);
                     (kib, report.rpt.hit_rate())
                 })
                 .collect();
@@ -225,7 +215,11 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
         &[WorkloadKind::Kmeans, WorkloadKind::GraphPr],
         &[WorkloadKind::Quicksort, WorkloadKind::NpbMg],
         &[WorkloadKind::Hpl, WorkloadKind::NpbCg],
-        &[WorkloadKind::Kmeans, WorkloadKind::NpbLu, WorkloadKind::NpbIs],
+        &[
+            WorkloadKind::Kmeans,
+            WorkloadKind::NpbLu,
+            WorkloadKind::NpbIs,
+        ],
     ];
     groups
         .iter()
@@ -260,11 +254,7 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
                     (kind, f / h)
                 })
                 .collect();
-            let label = group
-                .iter()
-                .map(|k| k.name())
-                .collect::<Vec<_>>()
-                .join("+");
+            let label = group.iter().map(|k| k.name()).collect::<Vec<_>>().join("+");
             (label, speedups)
         })
         .collect()
@@ -381,13 +371,7 @@ pub fn fig18_20(scale: &Scale) -> Vec<TierRow> {
                     tiers: *tiers,
                     ..HoppConfig::default()
                 };
-                let r = run_workload(
-                    kind,
-                    fp,
-                    scale.seed,
-                    SystemConfig::hopp_with(config),
-                    0.5,
-                );
+                let r = run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
                 speedup[i] = 1.0 - r.completion.as_nanos() as f64 / fs_ct;
                 last = Some(r);
             }
@@ -609,7 +593,11 @@ pub fn motivate(scale: &Scale) -> Vec<(WorkloadKind, [f64; 2], [f64; 2])> {
 /// and the swapcache/DRAM-hit coverage split while sweeping the pages
 /// issued per hot page.
 pub fn intensity_sweep(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64, f64, f64)>)> {
-    let workloads = [WorkloadKind::NpbMg, WorkloadKind::NpbCg, WorkloadKind::NpbIs];
+    let workloads = [
+        WorkloadKind::NpbMg,
+        WorkloadKind::NpbCg,
+        WorkloadKind::NpbIs,
+    ];
     workloads
         .iter()
         .map(|&kind| {
@@ -625,13 +613,8 @@ pub fn intensity_sweep(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64, f64, 
                         },
                         ..HoppConfig::default()
                     };
-                    let r = run_workload(
-                        kind,
-                        fp,
-                        scale.seed,
-                        SystemConfig::hopp_with(config),
-                        0.5,
-                    );
+                    let r =
+                        run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
                     (
                         intensity,
                         local / r.completion.as_nanos() as f64,
@@ -681,7 +664,11 @@ pub fn channels_sweep(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, f64, f64,
 /// stride-1 streams. Reports per workload: (batching?, normalized
 /// perf, RDMA read *requests*, pages moved).
 pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)> {
-    let workloads = [WorkloadKind::Kmeans, WorkloadKind::Microbench, WorkloadKind::Quicksort];
+    let workloads = [
+        WorkloadKind::Kmeans,
+        WorkloadKind::Microbench,
+        WorkloadKind::Quicksort,
+    ];
     let mut rows = Vec::new();
     for &kind in &workloads {
         let fp = scale.footprint_of(kind);
@@ -830,13 +817,8 @@ pub fn stt_sensitivity(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, u64, f64
                         },
                         ..HoppConfig::default()
                     };
-                    let r = run_workload(
-                        kind,
-                        fp,
-                        scale.seed,
-                        SystemConfig::hopp_with(config),
-                        0.5,
-                    );
+                    let r =
+                        run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
                     rows.push((history, delta, r.coverage(), r.accuracy()));
                 }
             }
@@ -868,7 +850,10 @@ pub fn warmup(scale: &Scale) -> Vec<(&'static str, Vec<u64>)> {
         windows
     };
     vec![
-        ("Fastswap", run(SystemConfig::Baseline(BaselineKind::Fastswap))),
+        (
+            "Fastswap",
+            run(SystemConfig::Baseline(BaselineKind::Fastswap)),
+        ),
         ("HoPP", run(SystemConfig::hopp_default())),
     ]
 }
@@ -879,7 +864,11 @@ pub fn warmup(scale: &Scale) -> Vec<(&'static str, Vec<u64>)> {
 /// results is insensitive to the scaled-down footprints; this
 /// experiment is the evidence.
 pub fn scale_robustness() -> Vec<(u64, u64, WorkloadKind, f64, f64)> {
-    let workloads = [WorkloadKind::Kmeans, WorkloadKind::NpbMg, WorkloadKind::GraphPr];
+    let workloads = [
+        WorkloadKind::Kmeans,
+        WorkloadKind::NpbMg,
+        WorkloadKind::GraphPr,
+    ];
     let mut rows = Vec::new();
     for &fp in &[2_048u64, 4_096, 8_192] {
         for &seed in &[42u64, 7] {
@@ -904,6 +893,24 @@ pub fn scale_robustness() -> Vec<(u64, u64, WorkloadKind, f64, f64)> {
         }
     }
     rows
+}
+
+/// Latency distributions (observability tentpole): fault, timeliness
+/// and RDMA percentiles for Fastswap vs HoPP on the same workload —
+/// the distribution-level view the paper's mean-only tables hide.
+pub fn latency_study(scale: &Scale) -> Vec<(&'static str, hopp_obs::LatencySummaries)> {
+    let kind = WorkloadKind::Kmeans;
+    let fp = scale.footprint_of(kind);
+    [
+        ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap)),
+        ("hopp", SystemConfig::hopp_default()),
+    ]
+    .into_iter()
+    .map(|(name, system)| {
+        let report = run_workload(kind, fp, scale.seed, system, 0.5);
+        (name, report.obs.latency)
+    })
+    .collect()
 }
 
 /// §VI-F: the CACTI-derived area and static-power estimates.

@@ -128,11 +128,50 @@ pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
                 if *value >= 0.0 { bar.as_str() } else { "" },
             ));
         } else {
-            out.push_str(&format!("{label:<label_w$} |{bar} {value:.3}
-"));
+            out.push_str(&format!(
+                "{label:<label_w$} |{bar} {value:.3}
+"
+            ));
         }
     }
     out
+}
+
+/// Renders a run's five latency histograms as an aligned table: one
+/// row per quantity, quantiles in microseconds.
+///
+/// # Example
+///
+/// ```
+/// let t = hopp_bench::format::latency_table(&Default::default());
+/// assert!(t.contains("major_fault"));
+/// assert!(t.contains("p99_us"));
+/// ```
+pub fn latency_table(l: &hopp_obs::LatencySummaries) -> String {
+    let us = |ns: f64| format!("{:.3}", ns / 1_000.0);
+    let row = |name: &str, s: &hopp_obs::HistogramSummary| -> Vec<String> {
+        vec![
+            name.to_string(),
+            s.count.to_string(),
+            us(s.mean),
+            us(s.p50 as f64),
+            us(s.p90 as f64),
+            us(s.p99 as f64),
+            us(s.max as f64),
+        ]
+    };
+    render_table(
+        &[
+            "latency", "count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us",
+        ],
+        &[
+            row("major_fault", &l.major_fault),
+            row("timeliness", &l.timeliness),
+            row("inflight_wait", &l.inflight_wait),
+            row("rdma_read", &l.rdma_read),
+            row("rdma_write", &l.rdma_write),
+        ],
+    )
 }
 
 /// Formats a ratio as a percentage with two decimals.
@@ -168,6 +207,23 @@ mod tests {
     fn helpers_format() {
         assert_eq!(pct(0.5), "50.00%");
         assert_eq!(frac(0.12345), "0.123");
+    }
+
+    #[test]
+    fn latency_table_converts_to_microseconds() {
+        let mut h = hopp_obs::Histogram::new();
+        h.record(2_000);
+        let l = hopp_obs::LatencySummaries {
+            major_fault: h.summary(),
+            ..Default::default()
+        };
+        let t = latency_table(&l);
+        let fault_row = t
+            .lines()
+            .find(|l| l.contains("major_fault"))
+            .expect("major_fault row");
+        assert!(fault_row.contains("2.000"), "{t}");
+        assert!(t.contains("rdma_write"));
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! separate because it owns the network side and the simulator threads
 //! the RDMA link through it explicitly.
 
+use hopp_obs::{Event, NopRecorder, Recorder, TierKind};
 use hopp_types::{HotPage, Nanos, Result};
 
 use crate::markov::{MarkovConfig, MarkovEngine};
-use crate::policy::{PolicyConfig, PolicyEngine, PolicyStats};
 pub use crate::policy::PolicyOrder as PrefetchOrder;
+use crate::policy::{PolicyConfig, PolicyEngine, PolicyStats};
 use crate::stt::{StreamId, StreamTrainingTable, SttConfig, SttStats};
 use crate::three_tier::{ThreeTier, TierConfig, TierStats};
 
@@ -89,27 +90,60 @@ impl HoppEngine {
     /// prefetch orders it triggers (empty while streams are still in
     /// training or the window matches no pattern).
     pub fn on_hot_page(&mut self, hot: &HotPage) -> Vec<PrefetchOrder> {
+        self.on_hot_page_rec(hot, &mut NopRecorder)
+    }
+
+    /// [`HoppEngine::on_hot_page`], recording the stream lifecycle (via
+    /// the STT) and an [`Event::TierDecision`] whenever a training
+    /// window is classified by one of the tiers (or the Markov trainer
+    /// makes a prediction).
+    pub fn on_hot_page_rec(&mut self, hot: &HotPage, rec: &mut dyn Recorder) -> Vec<PrefetchOrder> {
         if self.ignore_shared && hot.flags.shared {
             return Vec::new();
         }
         if let Some(markov) = &mut self.markov {
-            return markov.on_hot_page(hot);
+            let orders = markov.on_hot_page(hot);
+            if rec.is_enabled() && !orders.is_empty() {
+                rec.record(
+                    hot.at,
+                    Event::TierDecision {
+                        tier: TierKind::Markov,
+                        pid: hot.pid,
+                        vpn: hot.vpn,
+                    },
+                );
+            }
+            return orders;
         }
         self.hot_pages_seen += 1;
         // Policy state (offsets, batch frontiers) is keyed by StreamId;
         // prune entries of streams the STT has since recycled so state
         // stays bounded over arbitrarily long runs.
         if self.hot_pages_seen.is_multiple_of(4_096) {
-            let live: std::collections::HashSet<StreamId> =
-                self.stt.live_stream_ids().collect();
+            let live: std::collections::HashSet<StreamId> = self.stt.live_stream_ids().collect();
             self.policy.retain_streams(|s| live.contains(&s));
         }
-        let Some(window) = self.stt.observe(hot) else {
+        let Some(window) = self.stt.observe_rec(hot, rec) else {
             return Vec::new();
         };
         let Some(prediction) = self.tiers.predict(&window) else {
             return Vec::new();
         };
+        if rec.is_enabled() {
+            let tier = match prediction.tier() {
+                crate::three_tier::Tier::Simple => TierKind::Ssp,
+                crate::three_tier::Tier::Ladder => TierKind::Lsp,
+                crate::three_tier::Tier::Ripple => TierKind::Rsp,
+            };
+            rec.record(
+                hot.at,
+                Event::TierDecision {
+                    tier,
+                    pid: hot.pid,
+                    vpn: hot.vpn,
+                },
+            );
+        }
         self.policy.finalize(&window, prediction)
     }
 

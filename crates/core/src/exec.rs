@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use hopp_net::{CompletionQueue, RdmaEngine};
+use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{Nanos, Pid, Vpn};
 
 use crate::stt::StreamId;
@@ -97,15 +98,44 @@ impl ExecutionEngine {
         now: Nanos,
         link: &mut RdmaEngine,
     ) -> Option<Nanos> {
+        self.request_span_rec(pid, vpn, span, stream, tier, now, link, &mut NopRecorder)
+    }
+
+    /// [`ExecutionEngine::request_span`], recording the RDMA read and an
+    /// [`Event::PrefetchIssued`] whose latency is the expected
+    /// issue-to-arrival time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_span_rec(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        span: u32,
+        stream: StreamId,
+        tier: Tier,
+        now: Nanos,
+        link: &mut RdmaEngine,
+        rec: &mut dyn Recorder,
+    ) -> Option<Nanos> {
         debug_assert!(span >= 1);
         if self.inflight.contains_key(&(pid, vpn)) {
             self.stats.duplicate_inflight += 1;
             return None;
         }
-        let done = link.issue_read(now, span as usize * hopp_types::PAGE_SIZE);
+        let done = link.issue_read_rec(now, span as usize * hopp_types::PAGE_SIZE, rec);
         self.inflight.insert((pid, vpn), (stream, tier, now, span));
         self.cq.push(done, (pid, vpn));
         self.stats.issued += 1;
+        if rec.is_enabled() {
+            rec.record(
+                done,
+                Event::PrefetchIssued {
+                    pid,
+                    vpn,
+                    span,
+                    latency: done.saturating_since(now),
+                },
+            );
+        }
         Some(done)
     }
 
@@ -180,7 +210,16 @@ mod tests {
         let mut exec = ExecutionEngine::new();
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
-        assert!(exec.request(Pid::new(1), Vpn::new(9), s, Tier::Simple, Nanos::ZERO, &mut link).is_some());
+        assert!(exec
+            .request(
+                Pid::new(1),
+                Vpn::new(9),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link
+            )
+            .is_some());
         assert!(exec.is_inflight(Pid::new(1), Vpn::new(9)));
         assert!(exec.poll(Nanos::from_micros(1)).is_empty(), "not done yet");
         let done = exec.poll(Nanos::from_micros(10));
@@ -197,8 +236,26 @@ mod tests {
         let mut exec = ExecutionEngine::new();
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
-        assert!(exec.request(Pid::new(1), Vpn::new(9), s, Tier::Simple, Nanos::ZERO, &mut link).is_some());
-        assert!(exec.request(Pid::new(1), Vpn::new(9), s, Tier::Simple, Nanos::ZERO, &mut link).is_none());
+        assert!(exec
+            .request(
+                Pid::new(1),
+                Vpn::new(9),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link
+            )
+            .is_some());
+        assert!(exec
+            .request(
+                Pid::new(1),
+                Vpn::new(9),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link
+            )
+            .is_none());
         assert_eq!(exec.stats().duplicate_inflight, 1);
         assert_eq!(exec.stats().issued, 1);
         assert_eq!(link.stats().reads, 1, "no duplicate RDMA read");
@@ -209,7 +266,14 @@ mod tests {
         let mut exec = ExecutionEngine::new();
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
-        exec.request(Pid::new(1), Vpn::new(9), s, Tier::Ripple, Nanos::ZERO, &mut link);
+        exec.request(
+            Pid::new(1),
+            Vpn::new(9),
+            s,
+            Tier::Ripple,
+            Nanos::ZERO,
+            &mut link,
+        );
         exec.poll(Nanos::from_millis(1));
         // Residency filtering is the caller's job; the engine allows it.
         assert!(exec
@@ -230,7 +294,14 @@ mod tests {
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
         for v in 0..5u64 {
-            exec.request(Pid::new(1), Vpn::new(v), s, Tier::Simple, Nanos::ZERO, &mut link);
+            exec.request(
+                Pid::new(1),
+                Vpn::new(v),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link,
+            );
         }
         assert_eq!(exec.inflight_count(), 5);
         let next = exec.next_completion_at().unwrap();
@@ -248,10 +319,25 @@ mod tests {
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
         let single = exec
-            .request(Pid::new(1), Vpn::new(0), s, Tier::Simple, Nanos::ZERO, &mut link)
+            .request(
+                Pid::new(1),
+                Vpn::new(0),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link,
+            )
             .unwrap();
         let batch = exec
-            .request_span(Pid::new(1), Vpn::new(1_000), 512, s, Tier::Simple, Nanos::ZERO, &mut link)
+            .request_span(
+                Pid::new(1),
+                Vpn::new(1_000),
+                512,
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link,
+            )
             .unwrap();
         // 2 MB serializes far longer than 4 KB, but pays one base latency.
         assert!(batch > single);
@@ -267,8 +353,26 @@ mod tests {
         let mut exec = ExecutionEngine::new();
         let mut link = RdmaEngine::new(RdmaConfig::default());
         let s = stream_id();
-        assert!(exec.request(Pid::new(1), Vpn::new(9), s, Tier::Simple, Nanos::ZERO, &mut link).is_some());
-        assert!(exec.request(Pid::new(2), Vpn::new(9), s, Tier::Simple, Nanos::ZERO, &mut link).is_some());
+        assert!(exec
+            .request(
+                Pid::new(1),
+                Vpn::new(9),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link
+            )
+            .is_some());
+        assert!(exec
+            .request(
+                Pid::new(2),
+                Vpn::new(9),
+                s,
+                Tier::Simple,
+                Nanos::ZERO,
+                &mut link
+            )
+            .is_some());
         assert_eq!(exec.stats().issued, 2);
     }
 }

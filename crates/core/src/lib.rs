@@ -57,9 +57,9 @@ pub mod stt;
 pub mod three_tier;
 
 pub use engine::{HoppConfig, HoppEngine, PrefetchOrder, TrainerKind};
-pub use markov::{MarkovConfig, MarkovEngine};
 pub use exec::{Completion, ExecStats, ExecutionEngine};
+pub use markov::{MarkovConfig, MarkovEngine};
 pub use metrics::{MetricsReport, PrefetchMetrics};
 pub use policy::{HugeBatchConfig, PolicyConfig, PolicyEngine};
-pub use stt::{StreamId, StreamTrainingTable, SttConfig, StreamWindow};
+pub use stt::{StreamId, StreamTrainingTable, StreamWindow, SttConfig};
 pub use three_tier::{Prediction, ThreeTier, Tier, TierConfig};

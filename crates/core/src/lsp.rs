@@ -110,7 +110,10 @@ mod tests {
             .map(|w| w[1].stride_from(w[0]))
             .collect();
         StreamWindow {
-            stream: StreamId { slot: 0, generation: 0 },
+            stream: StreamId {
+                slot: 0,
+                generation: 0,
+            },
             pid: Pid::new(1),
             vpn_history,
             stride_history,

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use hopp_obs::{Histogram, HistogramSummary};
 use hopp_types::{Nanos, Pid, Vpn};
 
 /// A rendered snapshot of the metrics (what experiments print).
@@ -25,12 +26,16 @@ pub struct MetricsReport {
     pub prefetch_hits: u64,
     /// Demand requests that had to go to remote memory.
     pub demand_remote: u64,
+    /// Prefetched pages reclaimed (or replaced) before their first hit.
+    pub wasted: u64,
     /// Accuracy per the paper's definition.
     pub accuracy: f64,
     /// Coverage per the paper's definition.
     pub coverage: f64,
     /// Mean timeliness over hit prefetches.
     pub mean_timeliness: Nanos,
+    /// Full timeliness distribution (log₂ buckets: p50/p90/p99/max).
+    pub timeliness: HistogramSummary,
 }
 
 /// Running accuracy/coverage/timeliness accounting.
@@ -55,9 +60,9 @@ pub struct PrefetchMetrics {
     prefetched: u64,
     prefetch_hits: u64,
     demand_remote: u64,
+    wasted: u64,
     pending: HashMap<(Pid, Vpn), Nanos>,
-    timeliness_sum: u128,
-    timeliness_count: u64,
+    timeliness: Histogram,
 }
 
 impl PrefetchMetrics {
@@ -83,8 +88,7 @@ impl PrefetchMetrics {
         let arrival = self.pending.remove(&(pid, vpn))?;
         self.prefetch_hits += 1;
         let t = at.saturating_since(arrival);
-        self.timeliness_sum += u128::from(t.as_nanos());
-        self.timeliness_count += 1;
+        self.timeliness.record_nanos(t);
         Some(t)
     }
 
@@ -96,8 +100,15 @@ impl PrefetchMetrics {
 
     /// Records that a pending prefetched page was reclaimed before ever
     /// being hit (it stays counted as prefetched but can no longer hit).
-    pub fn on_evicted_unused(&mut self, pid: Pid, vpn: Vpn) {
-        self.pending.remove(&(pid, vpn));
+    /// Returns whether a pending prefetch was actually wasted (callers
+    /// use this to emit a `PrefetchWasted` event without second-guessing
+    /// the bookkeeping).
+    pub fn on_evicted_unused(&mut self, pid: Pid, vpn: Vpn) -> bool {
+        let was_pending = self.pending.remove(&(pid, vpn)).is_some();
+        if was_pending {
+            self.wasted += 1;
+        }
+        was_pending
     }
 
     /// Accuracy: hits / prefetched (1.0 when nothing was prefetched, so
@@ -141,13 +152,19 @@ impl PrefetchMetrics {
         self.pending.len()
     }
 
+    /// Prefetched pages that were reclaimed or replaced unused.
+    pub fn wasted(&self) -> u64 {
+        self.wasted
+    }
+
     /// Mean timeliness over all hits (zero when there were none).
     pub fn mean_timeliness(&self) -> Nanos {
-        if self.timeliness_count == 0 {
-            Nanos::ZERO
-        } else {
-            Nanos::from_nanos((self.timeliness_sum / u128::from(self.timeliness_count)) as u64)
-        }
+        Nanos::from_nanos(self.timeliness.mean().round() as u64)
+    }
+
+    /// The full timeliness distribution over all hits.
+    pub fn timeliness(&self) -> &Histogram {
+        &self.timeliness
     }
 
     /// Snapshot for reporting.
@@ -156,22 +173,42 @@ impl PrefetchMetrics {
             prefetched: self.prefetched,
             prefetch_hits: self.prefetch_hits,
             demand_remote: self.demand_remote,
+            wasted: self.wasted,
             accuracy: self.accuracy(),
             coverage: self.coverage(),
             mean_timeliness: self.mean_timeliness(),
+            timeliness: self.timeliness.summary(),
         }
     }
 
     /// Merges another metrics object into this one (multi-tier or
     /// multi-app aggregation).
+    ///
+    /// Pending-map collisions: when both sides have the same `(pid,
+    /// vpn)` pending, the entry with the *later* arrival time wins (the
+    /// page's state after a re-prefetch) and the earlier one is counted
+    /// as wasted — both prefetches consumed bandwidth but at most one
+    /// can ever score the first hit. Before this rule, one arrival was
+    /// silently overwritten while both stayed counted as prefetched,
+    /// understating waste.
     pub fn merge(&mut self, other: &PrefetchMetrics) {
         self.prefetched += other.prefetched;
         self.prefetch_hits += other.prefetch_hits;
         self.demand_remote += other.demand_remote;
-        self.timeliness_sum += other.timeliness_sum;
-        self.timeliness_count += other.timeliness_count;
+        self.wasted += other.wasted;
+        self.timeliness.merge(&other.timeliness);
         for (k, v) in &other.pending {
-            self.pending.insert(*k, *v);
+            match self.pending.entry(*k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(*v);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    self.wasted += 1;
+                    if *v > *e.get() {
+                        e.insert(*v);
+                    }
+                }
+            }
         }
     }
 }
@@ -264,5 +301,78 @@ mod tests {
         assert_eq!(r.prefetch_hits, 1);
         assert_eq!(r.demand_remote, 1);
         assert_eq!(r.coverage, 0.5);
+    }
+
+    #[test]
+    fn merge_collision_keeps_later_arrival_and_counts_waste() {
+        let mut a = PrefetchMetrics::new();
+        let mut b = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        a.on_prefetch_arrival(p, v, Nanos::from_micros(10));
+        b.on_prefetch_arrival(p, v, Nanos::from_micros(20));
+        a.merge(&b);
+        // Both prefetches stay counted, one is already waste.
+        assert_eq!(a.prefetched(), 2);
+        assert_eq!(a.wasted(), 1);
+        assert_eq!(a.pending(), 1);
+        // The surviving entry is the later arrival: a hit at t=25us has
+        // timeliness 5us, not 15us.
+        assert_eq!(
+            a.on_first_access(p, v, Nanos::from_micros(25)),
+            Some(Nanos::from_micros(5))
+        );
+        // ... and at most one hit can ever be scored.
+        assert!(a.prefetch_hits() <= a.prefetched());
+    }
+
+    #[test]
+    fn merge_collision_is_orderless_for_the_survivor() {
+        let (p, v) = key(1);
+        let mut early = PrefetchMetrics::new();
+        early.on_prefetch_arrival(p, v, Nanos::from_micros(10));
+        let mut late = PrefetchMetrics::new();
+        late.on_prefetch_arrival(p, v, Nanos::from_micros(20));
+        // Merge in both directions: the later arrival survives either way.
+        let mut ab = early.clone();
+        ab.merge(&late);
+        let mut ba = late;
+        ba.merge(&early);
+        assert_eq!(
+            ab.on_first_access(p, v, Nanos::from_micros(25)),
+            ba.on_first_access(p, v, Nanos::from_micros(25)),
+        );
+        assert_eq!(ab.wasted(), 1);
+        assert_eq!(ba.wasted(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_whether_a_prefetch_was_wasted() {
+        let mut m = PrefetchMetrics::new();
+        let (p, v) = key(1);
+        assert!(!m.on_evicted_unused(p, v), "nothing was pending");
+        m.on_prefetch_arrival(p, v, Nanos::ZERO);
+        assert!(m.on_evicted_unused(p, v));
+        assert_eq!(m.wasted(), 1);
+        assert!(!m.on_evicted_unused(p, v), "already removed");
+        assert_eq!(m.wasted(), 1);
+    }
+
+    #[test]
+    fn report_carries_timeliness_percentiles() {
+        let mut m = PrefetchMetrics::new();
+        for (v, arrive, hit) in [(1u64, 0u64, 10u64), (2, 0, 20), (3, 0, 1_000)] {
+            let (p, vp) = key(v);
+            m.on_prefetch_arrival(p, vp, Nanos::from_micros(arrive));
+            m.on_first_access(p, vp, Nanos::from_micros(hit));
+        }
+        let r = m.report();
+        assert_eq!(r.timeliness.count, 3);
+        assert_eq!(r.timeliness.max, 1_000_000);
+        assert!(r.timeliness.p50 >= 10_000, "median at least the low gap");
+        assert!(r.timeliness.p99 >= r.timeliness.p50);
+        assert_eq!(
+            Nanos::from_nanos(r.timeliness.mean.round() as u64),
+            r.mean_timeliness
+        );
     }
 }

@@ -219,7 +219,8 @@ impl PolicyEngine {
             return Some(Vec::new());
         }
         let start = covered.max(vpn_a + 1);
-        self.batched_until.insert(window.stream, start + u64::from(hb.batch_pages));
+        self.batched_until
+            .insert(window.stream, start + u64::from(hb.batch_pages));
         Some(vec![PolicyOrder {
             pid: window.pid,
             vpn: Vpn::new(start),

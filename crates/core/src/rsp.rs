@@ -61,7 +61,10 @@ mod tests {
             .map(|w| w[1].stride_from(w[0]))
             .collect();
         StreamWindow {
-            stream: StreamId { slot: 0, generation: 0 },
+            stream: StreamId {
+                slot: 0,
+                generation: 0,
+            },
             pid: Pid::new(1),
             vpn_history,
             stride_history,
@@ -78,20 +81,26 @@ mod tests {
     #[test]
     fn out_of_order_scan_is_a_ripple() {
         // Stride-1 scan with adjacent swaps (the paper's Figure 3 shape).
-        let vpns = [100, 102, 101, 103, 105, 104, 106, 107, 109, 108, 110, 111, 113, 112, 114, 115];
+        let vpns = [
+            100, 102, 101, 103, 105, 104, 106, 107, 109, 108, 110, 111, 113, 112, 114, 115,
+        ];
         assert!(is_ripple(&window_from_vpns(&vpns)));
     }
 
     #[test]
     fn hops_that_return_are_tolerated() {
         // Occasional far hops; the cumulative stride returns to ~0.
-        let vpns = [100, 101, 5000, 102, 103, 104, 9000, 105, 106, 107, 108, 7000, 109, 110, 111, 112];
+        let vpns = [
+            100, 101, 5000, 102, 103, 104, 9000, 105, 106, 107, 108, 7000, 109, 110, 111, 112,
+        ];
         assert!(is_ripple(&window_from_vpns(&vpns)));
     }
 
     #[test]
     fn random_accesses_are_not_a_ripple() {
-        let vpns = [100, 900, 40, 7000, 3, 650, 12000, 88, 4100, 77, 950, 31, 8000, 210, 5, 666];
+        let vpns = [
+            100, 900, 40, 7000, 3, 650, 12000, 88, 4100, 77, 950, 31, 8000, 210, 5, 666,
+        ];
         assert!(!is_ripple(&window_from_vpns(&vpns)));
     }
 

@@ -65,7 +65,10 @@ mod tests {
             vpns.push(last.offset(s).unwrap());
         }
         StreamWindow {
-            stream: StreamId { slot: 0, generation: 0 },
+            stream: StreamId {
+                slot: 0,
+                generation: 0,
+            },
             pid: Pid::new(1),
             vpn_history: vpns,
             stride_history: strides.to_vec(),

@@ -10,6 +10,7 @@
 //! further hot page yields a [`StreamWindow`] for the prefetch
 //! algorithms to analyse.
 
+use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{Error, HotPage, Nanos, Pid, Result, Vpn};
 
 /// Identifies a stream across the lifetime of a run.
@@ -27,6 +28,11 @@ impl StreamId {
     /// The STT slot currently (or formerly) hosting the stream.
     pub fn slot(self) -> usize {
         self.slot as usize
+    }
+
+    /// How many times the slot has been recycled before this stream.
+    pub fn generation(self) -> u32 {
+        self.generation
     }
 }
 
@@ -206,6 +212,14 @@ impl StreamTrainingTable {
     /// Feeds one hot page; returns a training window when the page
     /// extends a stream whose history is full.
     pub fn observe(&mut self, hot: &HotPage) -> Option<StreamWindow> {
+        self.observe_rec(hot, &mut NopRecorder)
+    }
+
+    /// [`StreamTrainingTable::observe`], recording stream lifecycle
+    /// events: [`Event::StreamUpdated`] when a hot page extends an
+    /// existing stream, [`Event::StreamEvicted`] +
+    /// [`Event::StreamCreated`] when a new one recycles a slot.
+    pub fn observe_rec(&mut self, hot: &HotPage, rec: &mut dyn Recorder) -> Option<StreamWindow> {
         self.clock += 1;
         self.stats.observed += 1;
 
@@ -244,6 +258,17 @@ impl StreamTrainingTable {
                     e.vpns.remove(0);
                     e.strides.remove(0);
                 }
+                if rec.is_enabled() {
+                    rec.record(
+                        hot.at,
+                        Event::StreamUpdated {
+                            slot: idx as u16,
+                            generation: e.generation,
+                            pid: hot.pid,
+                            vpn: hot.vpn,
+                        },
+                    );
+                }
                 if e.vpns.len() == l {
                     self.stats.windows += 1;
                     let e = &self.entries[idx];
@@ -273,6 +298,15 @@ impl StreamTrainingTable {
                 let e = &mut self.entries[victim];
                 if e.valid {
                     self.stats.evictions += 1;
+                    if rec.is_enabled() {
+                        rec.record(
+                            hot.at,
+                            Event::StreamEvicted {
+                                slot: victim as u16,
+                                generation: e.generation,
+                            },
+                        );
+                    }
                     e.generation += 1;
                 }
                 e.pid = hot.pid;
@@ -281,6 +315,17 @@ impl StreamTrainingTable {
                 e.vpns.push(hot.vpn);
                 e.lru = clock;
                 e.valid = true;
+                if rec.is_enabled() {
+                    rec.record(
+                        hot.at,
+                        Event::StreamCreated {
+                            slot: victim as u16,
+                            generation: e.generation,
+                            pid: hot.pid,
+                            vpn: hot.vpn,
+                        },
+                    );
+                }
                 None
             }
         }
@@ -472,6 +517,33 @@ mod tests {
         let w2 = t.observe(&hot(1, 7003)).unwrap();
         assert_eq!(w2.stream.slot(), 0);
         assert_ne!(w2.stream, first_gen);
+    }
+
+    #[test]
+    fn stream_lifecycle_is_recorded() {
+        use hopp_obs::TraceSink;
+        let mut sink = TraceSink::new(64);
+        let mut t = StreamTrainingTable::new(SttConfig {
+            entries: 2,
+            history: 4,
+            delta_stream: 4,
+        })
+        .unwrap();
+        t.observe_rec(&hot(1, 0), &mut sink); // created (slot 0)
+        t.observe_rec(&hot(1, 1), &mut sink); // updated
+        t.observe_rec(&hot(1, 1000), &mut sink); // created (slot 1)
+        t.observe_rec(&hot(1, 2000), &mut sink); // evicts + creates
+        let names: Vec<&str> = sink.events().map(|e| e.event.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "stream_created",
+                "stream_updated",
+                "stream_created",
+                "stream_evicted",
+                "stream_created"
+            ]
+        );
     }
 
     #[test]

@@ -213,7 +213,10 @@ mod tests {
             .map(|w| w[1].stride_from(w[0]))
             .collect();
         StreamWindow {
-            stream: StreamId { slot: 0, generation: 0 },
+            stream: StreamId {
+                slot: 0,
+                generation: 0,
+            },
             pid: Pid::new(1),
             vpn_history,
             stride_history,
@@ -314,7 +317,10 @@ mod tests {
             Some(Vpn::new(988))
         );
         // Underflow is rejected, not wrapped.
-        assert_eq!(Prediction::Simple { stride: -1 }.target(Vpn::new(1), 2), None);
+        assert_eq!(
+            Prediction::Simple { stride: -1 }.target(Vpn::new(1), 2),
+            None
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! kernel-facing PTE hooks.
 
 use hopp_mem::PteListener;
+use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{AccessKind, HotPage, LineAddr, Nanos, Pid, Ppn, Result, Vpn};
 
 use crate::cost::BandwidthLedger;
@@ -101,12 +102,47 @@ impl McPipeline {
     /// Hot pages whose frame cannot be resolved (freed or kernel-owned)
     /// are dropped, as the real hardware would drop them.
     pub fn on_llc_miss(&mut self, line: LineAddr, kind: AccessKind, now: Nanos) -> Option<HotPage> {
+        self.on_llc_miss_rec(line, kind, now, &mut NopRecorder)
+    }
+
+    /// [`McPipeline::on_llc_miss`], recording the hardware-side events:
+    /// [`Event::HpdHot`] when the threshold fires, then
+    /// [`Event::RptHit`] or [`Event::RptMiss`] (with whether the walk
+    /// resolved) and [`Event::RptWriteback`] when the cache evicted a
+    /// dirty way to DRAM.
+    pub fn on_llc_miss_rec(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Option<HotPage> {
         self.ledger.app_misses += 1;
         let channel = (line.raw() % self.hpds.len() as u64) as usize;
         let ppn = self.hpds[channel].on_miss(line, kind)?;
-        let before = self.rpt.stats().dram_accesses();
+        if rec.is_enabled() {
+            rec.record(now, Event::HpdHot { ppn });
+        }
+        let before = self.rpt.stats();
         let entry = self.rpt.lookup(ppn);
-        self.ledger.rpt_dram_accesses += self.rpt.stats().dram_accesses() - before;
+        let after = self.rpt.stats();
+        self.ledger.rpt_dram_accesses += after.dram_accesses() - before.dram_accesses();
+        if rec.is_enabled() {
+            if after.hits > before.hits {
+                rec.record(now, Event::RptHit { ppn });
+            } else {
+                rec.record(
+                    now,
+                    Event::RptMiss {
+                        ppn,
+                        resolved: entry.is_some(),
+                    },
+                );
+            }
+            if after.dram_writebacks > before.dram_writebacks {
+                rec.record(now, Event::RptWriteback { ppn });
+            }
+        }
         let entry = entry?;
         // One 8-byte record written to the reserved hot-page area.
         self.ledger.hot_page_writes += 1;
@@ -179,7 +215,9 @@ mod tests {
 
     fn feed_reads(mc: &mut McPipeline, ppn: Ppn, count: u8) -> Vec<HotPage> {
         (0..count)
-            .filter_map(|i| mc.on_llc_miss(ppn.line(i), AccessKind::Read, Nanos::from_nanos(i as u64)))
+            .filter_map(|i| {
+                mc.on_llc_miss(ppn.line(i), AccessKind::Read, Nanos::from_nanos(i as u64))
+            })
             .collect()
     }
 
@@ -239,6 +277,38 @@ mod tests {
         assert!(hot.len() <= 4, "at most one extraction per channel");
         assert!(hot.iter().all(|h| h.vpn == Vpn::new(0x10)));
         assert_eq!(mc.hpd_stats().hot_pages, hot.len() as u64);
+    }
+
+    #[test]
+    fn recording_traces_hpd_and_rpt_decisions() {
+        use hopp_obs::TraceSink;
+        let mut sink = TraceSink::new(64);
+        let mut mc = pipeline(2);
+        // Bootstrap fills only the DRAM copy, so the first RPT lookup
+        // misses the cache and resolves via the DRAM walk.
+        mc.bootstrap_rpt([(Ppn::new(4), Pid::new(1), Vpn::new(0x10))]);
+        let feed = |mc: &mut McPipeline, sink: &mut TraceSink| {
+            for i in 0..2u8 {
+                mc.on_llc_miss_rec(
+                    Ppn::new(4).line(i),
+                    AccessKind::Read,
+                    Nanos::from_nanos(i as u64),
+                    sink,
+                );
+            }
+        };
+        feed(&mut mc, &mut sink);
+        // Clearing the send-bit lets the page fire again; this time the
+        // RPT cache has the entry.
+        mc.on_page_reclaimed(Ppn::new(4));
+        feed(&mut mc, &mut sink);
+        let events = sink.into_events();
+        let names: Vec<&str> = events.iter().map(|e| e.event.name()).collect();
+        assert_eq!(names, ["hpd_hot", "rpt_miss", "hpd_hot", "rpt_hit"]);
+        match events[1].event {
+            hopp_obs::Event::RptMiss { resolved, .. } => assert!(resolved),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

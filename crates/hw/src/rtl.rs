@@ -259,8 +259,7 @@ impl HpdRtl {
 mod tests {
     use super::*;
     use crate::hpd::HotPageDetector;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hopp_types::rng::SplitMix64;
 
     fn rtl(n: u32) -> HpdRtl {
         HpdRtl::new(HpdConfig::with_threshold(n)).unwrap()
@@ -294,7 +293,10 @@ mod tests {
         for pass in 0..8u8 {
             for p in 0..4u64 {
                 // 4 pages per set round-robin over all 4 sets.
-                if r.clock(Some((Ppn::new(p).line(pass), AccessKind::Read))).hot.is_some() {
+                if r.clock(Some((Ppn::new(p).line(pass), AccessKind::Read)))
+                    .hot
+                    .is_some()
+                {
                     hot += 1;
                 }
             }
@@ -337,7 +339,10 @@ mod tests {
     #[test]
     fn writes_never_enter_the_pipeline() {
         let mut r = rtl(1);
-        assert_eq!(r.clock(Some((Ppn::new(1).line(0), AccessKind::Write))).hot, None);
+        assert_eq!(
+            r.clock(Some((Ppn::new(1).line(0), AccessKind::Write))).hot,
+            None
+        );
         assert_eq!(r.clock(None).hot, None);
         assert_eq!(r.emitted(), 0);
     }
@@ -366,7 +371,7 @@ mod tests {
     /// ties to break differently).
     #[test]
     fn matches_behavioural_model_without_eviction_pressure() {
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let mut behav = HotPageDetector::new(HpdConfig::with_threshold(4)).unwrap();
         let mut rtl = rtl(4);
         let mut behav_hot = Vec::new();
@@ -374,7 +379,7 @@ mod tests {
         // 32 distinct pages (8 per set, under the 16-way limit).
         for _ in 0..4_000 {
             let ppn = Ppn::new(rng.gen_range(0..32));
-            let line = rng.gen_range(0..64u8);
+            let line = rng.gen_range(0..64) as u8;
             if let Some(h) = behav.on_miss(ppn.line(line), AccessKind::Read) {
                 behav_hot.push(h);
             }
@@ -393,14 +398,14 @@ mod tests {
     /// Table II depends on).
     #[test]
     fn tracks_behavioural_volume_under_pressure() {
-        let mut rng = SmallRng::seed_from_u64(13);
+        let mut rng = SplitMix64::seed_from_u64(13);
         let mut behav = HotPageDetector::new(HpdConfig::with_threshold(4)).unwrap();
         let mut r = rtl(4);
         let mut behav_hot = 0u64;
         for _ in 0..50_000 {
             // 512 pages over 64 entries: constant thrash.
             let ppn = Ppn::new(rng.gen_range(0..512) * 4); // all in set 0
-            let line = rng.gen_range(0..64u8);
+            let line = rng.gen_range(0..64) as u8;
             if behav.on_miss(ppn.line(line), AccessKind::Read).is_some() {
                 behav_hot += 1;
             }

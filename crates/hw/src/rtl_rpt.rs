@@ -239,7 +239,13 @@ impl RptRtl {
         let set_idx = self.set_of(ppn);
         let set = &mut self.sets[set_idx];
         let victim = (0..set.len())
-            .max_by_key(|&w| if set[w].valid { u16::from(set[w].age) } else { u16::MAX })
+            .max_by_key(|&w| {
+                if set[w].valid {
+                    u16::from(set[w].age)
+                } else {
+                    u16::MAX
+                }
+            })
             .expect("ways >= 1");
         let old = set[victim];
         if old.valid && old.dirty {

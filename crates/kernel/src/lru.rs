@@ -105,9 +105,20 @@ impl LruLists {
 
     /// Removes and returns the eviction candidate.
     pub fn pop_evict(&mut self) -> Option<Ppn> {
+        self.pop_evict_from().map(|(ppn, _)| ppn)
+    }
+
+    /// Removes and returns the eviction candidate along with the list it
+    /// came off — [`LruTier::Active`] means the inactive list was empty
+    /// and reclaim is under real LRU pressure (the [`Event::Reclaim`]
+    /// `active` flag).
+    ///
+    /// [`Event::Reclaim`]: hopp_obs::Event::Reclaim
+    pub fn pop_evict_from(&mut self) -> Option<(Ppn, LruTier)> {
         let ppn = self.evict_candidate()?;
+        let tier = self.tier_of(ppn).expect("candidate is tracked");
         self.remove(ppn);
-        Some(ppn)
+        Some((ppn, tier))
     }
 
     /// The tier a page currently lives on.
@@ -183,6 +194,16 @@ mod tests {
         assert_eq!(lru.len(), 1);
         assert_eq!(lru.tier_of(Ppn::new(1)), Some(LruTier::Inactive));
         assert_eq!(lru.inactive_len(), 1);
+    }
+
+    #[test]
+    fn pop_evict_from_reports_the_source_list() {
+        let mut lru = LruLists::new();
+        lru.insert(Ppn::new(1), LruTier::Inactive);
+        lru.insert(Ppn::new(2), LruTier::Active);
+        assert_eq!(lru.pop_evict_from(), Some((Ppn::new(1), LruTier::Inactive)));
+        assert_eq!(lru.pop_evict_from(), Some((Ppn::new(2), LruTier::Active)));
+        assert_eq!(lru.pop_evict_from(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! separate data path (see `hopp-core`), independent of fault timing —
 //! that separation is the paper's main architectural claim.
 
+use hopp_obs::{Event, Recorder};
 use hopp_types::{Nanos, Pid, SwapSlot, Vpn};
 
 /// What the kernel knows at fault time.
@@ -64,6 +65,25 @@ pub trait Prefetcher {
     /// prefetch into `out`; the kernel dedupes against pages already
     /// local or in flight.
     fn on_fault(&mut self, fault: &FaultInfo, slots: &dyn SlotView, out: &mut Vec<PrefetchRequest>);
+}
+
+/// Records one [`Event::BaselinePrefetch`] per request a fault-path
+/// prefetcher produced. A free function (not part of the [`Prefetcher`]
+/// trait) so baseline implementations stay observation-agnostic.
+pub fn record_baseline_requests(at: Nanos, requests: &[PrefetchRequest], rec: &mut dyn Recorder) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for r in requests {
+        rec.record(
+            at,
+            Event::BaselinePrefetch {
+                pid: r.pid,
+                vpn: r.vpn,
+                inject: r.inject,
+            },
+        );
+    }
 }
 
 /// The null policy: never prefetches. The "Fastswap without

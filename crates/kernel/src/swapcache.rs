@@ -153,7 +153,14 @@ mod tests {
     fn insert_take_records_hit() {
         let mut sc = SwapCache::new();
         let (pid, vpn) = key();
-        sc.insert(pid, vpn, Ppn::new(1), None, CacheFill::Prefetch, Nanos::ZERO);
+        sc.insert(
+            pid,
+            vpn,
+            Ppn::new(1),
+            None,
+            CacheFill::Prefetch,
+            Nanos::ZERO,
+        );
         assert_eq!(sc.len(), 1);
         let e = sc.take(pid, vpn).unwrap();
         assert_eq!(e.fill, CacheFill::Prefetch);
@@ -166,7 +173,14 @@ mod tests {
     fn evict_records_waste_not_hit() {
         let mut sc = SwapCache::new();
         let (pid, vpn) = key();
-        sc.insert(pid, vpn, Ppn::new(1), None, CacheFill::Prefetch, Nanos::ZERO);
+        sc.insert(
+            pid,
+            vpn,
+            Ppn::new(1),
+            None,
+            CacheFill::Prefetch,
+            Nanos::ZERO,
+        );
         sc.evict(pid, vpn).unwrap();
         assert_eq!(sc.stats().evicted_unused, 1);
         assert_eq!(sc.stats().hits, 0);
@@ -179,7 +193,14 @@ mod tests {
         let (pid, vpn) = key();
         sc.insert(pid, vpn, Ppn::new(1), None, CacheFill::Demand, Nanos::ZERO);
         let prev = sc
-            .insert(pid, vpn, Ppn::new(2), None, CacheFill::Prefetch, Nanos::ZERO)
+            .insert(
+                pid,
+                vpn,
+                Ppn::new(2),
+                None,
+                CacheFill::Prefetch,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(prev.ppn, Ppn::new(1));
         assert_eq!(sc.peek(pid, vpn).unwrap().ppn, Ppn::new(2));

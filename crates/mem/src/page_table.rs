@@ -92,7 +92,9 @@ impl AddressSpace {
     /// Panics (debug builds) if the page is already present — the caller
     /// must unmap first; silently remapping would leak a frame.
     pub fn map_present<L: PteListener>(&mut self, vpn: Vpn, ppn: Ppn, listener: &mut L) {
-        let prev = self.map.insert(vpn, Mapping::Present(Pte { ppn, dirty: false }));
+        let prev = self
+            .map
+            .insert(vpn, Mapping::Present(Pte { ppn, dirty: false }));
         debug_assert!(
             !matches!(prev, Some(Mapping::Present(_))),
             "double map of {vpn:?}"
@@ -211,7 +213,9 @@ mod tests {
     #[test]
     fn swap_out_of_absent_page_is_none() {
         let mut space = AddressSpace::new(Pid::new(1));
-        assert!(space.swap_out(Vpn::new(1), SwapSlot::new(0), &mut ()).is_none());
+        assert!(space
+            .swap_out(Vpn::new(1), SwapSlot::new(0), &mut ())
+            .is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::collections::BinaryHeap;
 
+use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{Nanos, PAGE_SIZE};
 
 /// Deterministic latency volatility: the datacenter fabric periodically
@@ -163,13 +164,29 @@ impl RdmaEngine {
     /// Issues a read of `bytes` at time `now`; returns its completion
     /// time.
     pub fn issue_read(&mut self, now: Nanos, bytes: usize) -> Nanos {
+        self.issue_read_rec(now, bytes, &mut NopRecorder)
+    }
+
+    /// [`RdmaEngine::issue_read`], recording an [`Event::RdmaRead`]
+    /// whose latency includes time queued behind earlier transfers.
+    pub fn issue_read_rec(&mut self, now: Nanos, bytes: usize, rec: &mut dyn Recorder) -> Nanos {
         let start = now.max(self.wire_free_at);
         self.stats.queueing += start.saturating_since(now);
         let ser = self.config.serialization(bytes);
         self.wire_free_at = start + ser;
         self.stats.reads += 1;
         self.stats.bytes += bytes as u64;
-        self.wire_free_at + self.config.latency_at(start)
+        let done = self.wire_free_at + self.config.latency_at(start);
+        if rec.is_enabled() {
+            rec.record(
+                done,
+                Event::RdmaRead {
+                    bytes: bytes as u64,
+                    latency: done.saturating_since(now),
+                },
+            );
+        }
+        done
     }
 
     /// Issues a 4 KB page read at `now`; returns its completion time.
@@ -177,17 +194,38 @@ impl RdmaEngine {
         self.issue_read(now, PAGE_SIZE)
     }
 
+    /// [`RdmaEngine::issue_page_read`] with event recording.
+    pub fn issue_page_read_rec(&mut self, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
+        self.issue_read_rec(now, PAGE_SIZE, rec)
+    }
+
     /// Issues a 4 KB page *write* (dirty-page writeback during reclaim)
     /// at `now`; returns its completion time. Writes share the wire with
     /// reads and therefore delay them.
     pub fn issue_page_write(&mut self, now: Nanos) -> Nanos {
+        self.issue_page_write_rec(now, &mut NopRecorder)
+    }
+
+    /// [`RdmaEngine::issue_page_write`], recording an
+    /// [`Event::RdmaWrite`].
+    pub fn issue_page_write_rec(&mut self, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
         let start = now.max(self.wire_free_at);
         self.stats.queueing += start.saturating_since(now);
         let ser = self.config.serialization(PAGE_SIZE);
         self.wire_free_at = start + ser;
         self.stats.writes += 1;
         self.stats.bytes += PAGE_SIZE as u64;
-        self.wire_free_at + self.config.latency_at(start)
+        let done = self.wire_free_at + self.config.latency_at(start);
+        if rec.is_enabled() {
+            rec.record(
+                done,
+                Event::RdmaWrite {
+                    bytes: PAGE_SIZE as u64,
+                    latency: done.saturating_since(now),
+                },
+            );
+        }
+        done
     }
 
     /// The earliest time a newly issued transfer could start.
@@ -331,8 +369,12 @@ mod tests {
         // Issue long after the wire went idle.
         let later = d1 + Nanos::from_micros(100);
         let d2 = link.issue_page_read(later);
-        assert_eq!(d2, later + RdmaConfig::default().serialization(PAGE_SIZE)
-            + RdmaConfig::default().base_latency);
+        assert_eq!(
+            d2,
+            later
+                + RdmaConfig::default().serialization(PAGE_SIZE)
+                + RdmaConfig::default().base_latency
+        );
     }
 
     #[test]
@@ -363,7 +405,10 @@ mod tests {
         let quiet = quiet_link.issue_page_read(Nanos::from_micros(600));
         let burst_latency = burst.as_nanos();
         let quiet_latency = quiet.saturating_since(Nanos::from_micros(600)).as_nanos();
-        assert!(burst_latency > 5 * quiet_latency, "{burst_latency} vs {quiet_latency}");
+        assert!(
+            burst_latency > 5 * quiet_latency,
+            "{burst_latency} vs {quiet_latency}"
+        );
     }
 
     #[test]
@@ -374,8 +419,14 @@ mod tests {
         cq.push(Nanos::from_nanos(10), 3);
         assert_eq!(cq.len(), 3);
         assert_eq!(cq.pop_due(Nanos::from_nanos(5)), None);
-        assert_eq!(cq.pop_due(Nanos::from_nanos(10)), Some((Nanos::from_nanos(10), 2)));
-        assert_eq!(cq.pop_due(Nanos::from_nanos(10)), Some((Nanos::from_nanos(10), 3)));
+        assert_eq!(
+            cq.pop_due(Nanos::from_nanos(10)),
+            Some((Nanos::from_nanos(10), 2))
+        );
+        assert_eq!(
+            cq.pop_due(Nanos::from_nanos(10)),
+            Some((Nanos::from_nanos(10), 3))
+        );
         assert_eq!(cq.next_due(), Some(Nanos::from_nanos(30)));
         assert_eq!(cq.pop_any(), Some((Nanos::from_nanos(30), 1)));
         assert!(cq.is_empty());
@@ -387,6 +438,33 @@ mod tests {
         link.issue_read(Nanos::ZERO, 100);
         link.issue_read(Nanos::ZERO, 200);
         assert_eq!(link.stats().bytes, 300);
+    }
+
+    #[test]
+    fn recorded_ops_carry_queueing_in_latency() {
+        use hopp_obs::TraceSink;
+        let mut sink = TraceSink::new(16);
+        let mut link = RdmaEngine::new(RdmaConfig::default());
+        let d1 = link.issue_page_read_rec(Nanos::ZERO, &mut sink);
+        let d2 = link.issue_page_read_rec(Nanos::ZERO, &mut sink);
+        link.issue_page_write_rec(Nanos::ZERO, &mut sink);
+        let events = sink.into_events();
+        assert_eq!(events.len(), 3);
+        match (events[0].event, events[1].event, events[2].event) {
+            (
+                Event::RdmaRead { latency: l1, bytes },
+                Event::RdmaRead { latency: l2, .. },
+                Event::RdmaWrite { .. },
+            ) => {
+                assert_eq!(bytes, PAGE_SIZE as u64);
+                assert_eq!(l1, d1);
+                assert_eq!(l2, d2, "second read's latency includes queueing");
+                assert!(l2 > l1);
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+        // Events are stamped at completion time.
+        assert_eq!(events[0].at, d1);
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! The typed event vocabulary of the simulated stack.
+//!
+//! One [`Event`] is one thing that happened at one simulated instant,
+//! attributed to the [`Component`] that did it. Variants are `Copy` and
+//! allocation-free so recording them costs a ring-buffer slot and
+//! nothing else; all string rendering happens at export time.
+
+use std::fmt::Write as _;
+
+use hopp_types::{Nanos, Pid, Ppn, SwapSlot, Vpn};
+
+/// The pipeline component an event is attributed to. One Chrome-trace
+/// track ("thread") per component.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Component {
+    /// Hot page detector (per-channel, in the memory controller).
+    Hpd,
+    /// Reverse page table and its in-MC cache.
+    Rpt,
+    /// Stream training table.
+    Stt,
+    /// Tier selection (SSP/LSP/RSP or the Markov trainer).
+    Tiers,
+    /// Prefetch life cycle: issue, arrival, hit, waste.
+    Prefetch,
+    /// Kernel fault path, reclaim and swap.
+    Kernel,
+    /// RDMA link to the remote memory node.
+    Rdma,
+}
+
+impl Component {
+    /// All components, in track order.
+    pub const ALL: [Component; 7] = [
+        Component::Hpd,
+        Component::Rpt,
+        Component::Stt,
+        Component::Tiers,
+        Component::Prefetch,
+        Component::Kernel,
+        Component::Rdma,
+    ];
+
+    /// Stable lowercase label, used as the track name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Hpd => "hpd",
+            Component::Rpt => "rpt",
+            Component::Stt => "stt",
+            Component::Tiers => "tiers",
+            Component::Prefetch => "prefetch",
+            Component::Kernel => "kernel",
+            Component::Rdma => "rdma",
+        }
+    }
+
+    /// Stable per-component Chrome-trace thread id (1-based).
+    pub fn tid(self) -> u32 {
+        match self {
+            Component::Hpd => 1,
+            Component::Rpt => 2,
+            Component::Stt => 3,
+            Component::Tiers => 4,
+            Component::Prefetch => 5,
+            Component::Kernel => 6,
+            Component::Rdma => 7,
+        }
+    }
+}
+
+/// Which predictor produced a prefetch decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TierKind {
+    /// Simple stream prefetching (tier 1).
+    Ssp,
+    /// Ladder stream prefetching (tier 2).
+    Lsp,
+    /// Ripple stream prefetching (tier 3).
+    Rsp,
+    /// The Markov (address-correlation) trainer, when configured.
+    Markov,
+}
+
+impl TierKind {
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierKind::Ssp => "SSP",
+            TierKind::Lsp => "LSP",
+            TierKind::Rsp => "RSP",
+            TierKind::Markov => "Markov",
+        }
+    }
+}
+
+/// One thing that happened in the simulated stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// The HPD crossed threshold `N` for a page and emitted it.
+    HpdHot {
+        /// The hot physical page.
+        ppn: Ppn,
+    },
+    /// RPT lookup served from the in-MC cache.
+    RptHit {
+        /// Looked-up physical page.
+        ppn: Ppn,
+    },
+    /// RPT cache miss; the full table was walked in DRAM.
+    RptMiss {
+        /// Looked-up physical page.
+        ppn: Ppn,
+        /// Whether the walk found a mapping (false: unresolved, the
+        /// hot page is dropped).
+        resolved: bool,
+    },
+    /// A dirty RPT cache way was written back to DRAM on refill.
+    RptWriteback {
+        /// The page whose lookup forced the writeback.
+        ppn: Ppn,
+    },
+    /// The STT allocated a new stream entry.
+    StreamCreated {
+        /// STT slot index.
+        slot: u16,
+        /// Slot reuse generation.
+        generation: u32,
+        /// Owning process.
+        pid: Pid,
+        /// First page of the stream.
+        vpn: Vpn,
+    },
+    /// An existing stream absorbed a hot page.
+    StreamUpdated {
+        /// STT slot index.
+        slot: u16,
+        /// Slot reuse generation.
+        generation: u32,
+        /// Owning process.
+        pid: Pid,
+        /// The absorbed page.
+        vpn: Vpn,
+    },
+    /// A trained stream was recycled to make room (LRU victim).
+    StreamEvicted {
+        /// STT slot index.
+        slot: u16,
+        /// Generation that was evicted.
+        generation: u32,
+    },
+    /// A tier classified a stream window and predicted.
+    TierDecision {
+        /// The predicting tier.
+        tier: TierKind,
+        /// Owning process.
+        pid: Pid,
+        /// The window's anchor page (VPN_A).
+        vpn: Vpn,
+    },
+    /// The execution engine issued an asynchronous RDMA page read.
+    PrefetchIssued {
+        /// Owning process.
+        pid: Pid,
+        /// First fetched page.
+        vpn: Vpn,
+        /// Consecutive pages covered by the read.
+        span: u32,
+        /// Expected issue→completion latency.
+        latency: Nanos,
+    },
+    /// A prefetched span arrived and its PTEs were injected.
+    PrefetchArrived {
+        /// Owning process.
+        pid: Pid,
+        /// First fetched page.
+        vpn: Vpn,
+        /// Pages injected.
+        span: u32,
+    },
+    /// A prefetched page was touched for the first time (a saved fault).
+    PrefetchHit {
+        /// Owning process.
+        pid: Pid,
+        /// The page.
+        vpn: Vpn,
+        /// Arrival→first-touch interval (the paper's timeliness).
+        timeliness: Nanos,
+    },
+    /// A prefetched page was reclaimed before ever being touched.
+    PrefetchWasted {
+        /// Owning process.
+        pid: Pid,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// A kernel baseline prefetcher (Fastswap/Leap/VMA/Depth-N)
+    /// requested a page on the fault path.
+    BaselinePrefetch {
+        /// Owning process.
+        pid: Pid,
+        /// Requested page.
+        vpn: Vpn,
+        /// Whether the baseline injects the PTE on arrival (Leap) or
+        /// parks the page in the swapcache (Fastswap).
+        inject: bool,
+    },
+    /// A demand access missed everything and read the page from remote
+    /// memory synchronously.
+    MajorFault {
+        /// Faulting process.
+        pid: Pid,
+        /// Faulted page.
+        vpn: Vpn,
+        /// Full fault latency (RDMA read + kernel CPU cost).
+        latency: Nanos,
+    },
+    /// A fault was served from the swapcache (no remote read).
+    MinorFault {
+        /// Faulting process.
+        pid: Pid,
+        /// Faulted page.
+        vpn: Vpn,
+    },
+    /// First touch of a never-swapped page (allocation, not a fault).
+    FirstTouch {
+        /// Owning process.
+        pid: Pid,
+        /// The new page.
+        vpn: Vpn,
+    },
+    /// A demand access had to wait for an in-flight prefetch of the
+    /// same page to land.
+    InflightWait {
+        /// Waiting process.
+        pid: Pid,
+        /// The page in flight.
+        vpn: Vpn,
+        /// How long the access stalled.
+        wait: Nanos,
+    },
+    /// Reclaim evicted a resident frame.
+    Reclaim {
+        /// Evicted frame.
+        ppn: Ppn,
+        /// Whether it came off the active list (LRU pressure) rather
+        /// than the inactive list.
+        active: bool,
+        /// Whether it was dirty (forced a remote writeback).
+        dirty: bool,
+    },
+    /// A reclaimed page was assigned a swap slot on the remote node.
+    SwapOut {
+        /// Owning process.
+        pid: Pid,
+        /// Swapped-out page.
+        vpn: Vpn,
+        /// Its remote slot.
+        slot: SwapSlot,
+    },
+    /// An RDMA read was issued on the wire.
+    RdmaRead {
+        /// Transfer size.
+        bytes: u64,
+        /// Issue→completion latency including queueing.
+        latency: Nanos,
+    },
+    /// An RDMA write (dirty-page writeback) was issued on the wire.
+    RdmaWrite {
+        /// Transfer size.
+        bytes: u64,
+        /// Issue→completion latency including queueing.
+        latency: Nanos,
+    },
+}
+
+impl Event {
+    /// The component this event is attributed to.
+    pub fn component(&self) -> Component {
+        match self {
+            Event::HpdHot { .. } => Component::Hpd,
+            Event::RptHit { .. } | Event::RptMiss { .. } | Event::RptWriteback { .. } => {
+                Component::Rpt
+            }
+            Event::StreamCreated { .. }
+            | Event::StreamUpdated { .. }
+            | Event::StreamEvicted { .. } => Component::Stt,
+            Event::TierDecision { .. } => Component::Tiers,
+            Event::PrefetchIssued { .. }
+            | Event::PrefetchArrived { .. }
+            | Event::PrefetchHit { .. }
+            | Event::PrefetchWasted { .. }
+            | Event::BaselinePrefetch { .. } => Component::Prefetch,
+            Event::MajorFault { .. }
+            | Event::MinorFault { .. }
+            | Event::FirstTouch { .. }
+            | Event::InflightWait { .. }
+            | Event::Reclaim { .. }
+            | Event::SwapOut { .. } => Component::Kernel,
+            Event::RdmaRead { .. } | Event::RdmaWrite { .. } => Component::Rdma,
+        }
+    }
+
+    /// Stable snake_case event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::HpdHot { .. } => "hpd_hot",
+            Event::RptHit { .. } => "rpt_hit",
+            Event::RptMiss { .. } => "rpt_miss",
+            Event::RptWriteback { .. } => "rpt_writeback",
+            Event::StreamCreated { .. } => "stream_created",
+            Event::StreamUpdated { .. } => "stream_updated",
+            Event::StreamEvicted { .. } => "stream_evicted",
+            Event::TierDecision { .. } => "tier_decision",
+            Event::PrefetchIssued { .. } => "prefetch_issued",
+            Event::PrefetchArrived { .. } => "prefetch_arrived",
+            Event::PrefetchHit { .. } => "prefetch_hit",
+            Event::PrefetchWasted { .. } => "prefetch_wasted",
+            Event::BaselinePrefetch { .. } => "baseline_prefetch",
+            Event::MajorFault { .. } => "major_fault",
+            Event::MinorFault { .. } => "minor_fault",
+            Event::FirstTouch { .. } => "first_touch",
+            Event::InflightWait { .. } => "inflight_wait",
+            Event::Reclaim { .. } => "reclaim",
+            Event::SwapOut { .. } => "swap_out",
+            Event::RdmaRead { .. } => "rdma_read",
+            Event::RdmaWrite { .. } => "rdma_write",
+        }
+    }
+
+    /// The duration this event spans, for events that describe an
+    /// interval ending (or starting) at their timestamp. These become
+    /// "complete" (`"ph":"X"`) Chrome-trace slices; the rest are
+    /// instants.
+    pub fn duration(&self) -> Option<Nanos> {
+        match self {
+            Event::PrefetchIssued { latency, .. }
+            | Event::MajorFault { latency, .. }
+            | Event::RdmaRead { latency, .. }
+            | Event::RdmaWrite { latency, .. } => Some(*latency),
+            Event::PrefetchHit { timeliness, .. } => Some(*timeliness),
+            Event::InflightWait { wait, .. } => Some(*wait),
+            _ => None,
+        }
+    }
+
+    /// Appends this event's fields as JSON object members, each
+    /// prefixed with `,` (the caller has already opened the object).
+    pub fn write_args_json(&self, out: &mut String) {
+        // All keys are static identifiers and all values numeric or
+        // boolean, so no string escaping is needed here.
+        match *self {
+            Event::HpdHot { ppn } | Event::RptHit { ppn } | Event::RptWriteback { ppn } => {
+                let _ = write!(out, ",\"ppn\":{}", ppn.raw());
+            }
+            Event::RptMiss { ppn, resolved } => {
+                let _ = write!(out, ",\"ppn\":{},\"resolved\":{resolved}", ppn.raw());
+            }
+            Event::StreamCreated {
+                slot,
+                generation,
+                pid,
+                vpn,
+            }
+            | Event::StreamUpdated {
+                slot,
+                generation,
+                pid,
+                vpn,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"slot\":{slot},\"generation\":{generation},\"pid\":{},\"vpn\":{}",
+                    pid.raw(),
+                    vpn.raw()
+                );
+            }
+            Event::StreamEvicted { slot, generation } => {
+                let _ = write!(out, ",\"slot\":{slot},\"generation\":{generation}");
+            }
+            Event::TierDecision { tier, pid, vpn } => {
+                let _ = write!(
+                    out,
+                    ",\"tier\":\"{}\",\"pid\":{},\"vpn\":{}",
+                    tier.label(),
+                    pid.raw(),
+                    vpn.raw()
+                );
+            }
+            Event::PrefetchIssued {
+                pid,
+                vpn,
+                span,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"span\":{span},\"latency_ns\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    latency.as_nanos()
+                );
+            }
+            Event::PrefetchArrived { pid, vpn, span } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"span\":{span}",
+                    pid.raw(),
+                    vpn.raw()
+                );
+            }
+            Event::PrefetchHit {
+                pid,
+                vpn,
+                timeliness,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"timeliness_ns\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    timeliness.as_nanos()
+                );
+            }
+            Event::PrefetchWasted { pid, vpn }
+            | Event::MinorFault { pid, vpn }
+            | Event::FirstTouch { pid, vpn } => {
+                let _ = write!(out, ",\"pid\":{},\"vpn\":{}", pid.raw(), vpn.raw());
+            }
+            Event::BaselinePrefetch { pid, vpn, inject } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"inject\":{inject}",
+                    pid.raw(),
+                    vpn.raw()
+                );
+            }
+            Event::MajorFault { pid, vpn, latency } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"latency_ns\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    latency.as_nanos()
+                );
+            }
+            Event::InflightWait { pid, vpn, wait } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"wait_ns\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    wait.as_nanos()
+                );
+            }
+            Event::Reclaim { ppn, active, dirty } => {
+                let _ = write!(
+                    out,
+                    ",\"ppn\":{},\"active\":{active},\"dirty\":{dirty}",
+                    ppn.raw()
+                );
+            }
+            Event::SwapOut { pid, vpn, slot } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"slot\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    slot.raw()
+                );
+            }
+            Event::RdmaRead { bytes, latency } | Event::RdmaWrite { bytes, latency } => {
+                let _ = write!(
+                    out,
+                    ",\"bytes\":{bytes},\"latency_ns\":{}",
+                    latency.as_nanos()
+                );
+            }
+        }
+    }
+}
+
+/// An [`Event`] plus the simulated instant it happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimedEvent {
+    /// Simulated timestamp. For interval events this is the *end* of
+    /// the interval (the moment the outcome was known).
+    pub at: Nanos,
+    /// What happened.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_component_has_a_distinct_tid_and_label() {
+        let mut tids: Vec<u32> = Component::ALL.iter().map(|c| c.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Component::ALL.len());
+        let mut labels: Vec<&str> = Component::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Component::ALL.len());
+    }
+
+    #[test]
+    fn args_render_as_json_members() {
+        let mut out = String::new();
+        Event::MajorFault {
+            pid: Pid::new(3),
+            vpn: Vpn::new(77),
+            latency: Nanos::from_nanos(1500),
+        }
+        .write_args_json(&mut out);
+        assert_eq!(out, ",\"pid\":3,\"vpn\":77,\"latency_ns\":1500");
+    }
+
+    #[test]
+    fn interval_events_carry_durations() {
+        let e = Event::RdmaRead {
+            bytes: 4096,
+            latency: Nanos::from_nanos(3400),
+        };
+        assert_eq!(e.duration(), Some(Nanos::from_nanos(3400)));
+        assert_eq!(e.component(), Component::Rdma);
+        let i = Event::MinorFault {
+            pid: Pid::new(1),
+            vpn: Vpn::new(1),
+        };
+        assert_eq!(i.duration(), None);
+    }
+}

@@ -5,14 +5,14 @@
 //! hoppsim --workload kmeans --system hopp --ratio 0.5
 //! hoppsim --workload npb-mg --system depth-32 --footprint 8192
 //! hoppsim --workload microbench --system hopp --intensity 2 --channels 4
+//! hoppsim --workload kmeans --system hopp --trace-out t.json --metrics-json m.json
 //! hoppsim --list
 //! ```
 
 use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
 use hopp_core::{HoppConfig, MarkovConfig, TrainerKind};
-use hopp_sim::{
-    run_local, run_workload_with, BaselineKind, SimConfig, SimReport, SystemConfig,
-};
+use hopp_obs::{events_to_chrome_trace, ObsLevel};
+use hopp_sim::{run_local, run_workload_with, BaselineKind, SimConfig, SimReport, SystemConfig};
 use hopp_workloads::WorkloadKind;
 
 #[derive(Debug)]
@@ -34,6 +34,10 @@ struct Args {
     reclaim_window_ms: Option<u64>,
     remote_capacity: Option<usize>,
     timeline: Option<u64>,
+    obs_level: Option<ObsLevel>,
+    trace_out: Option<String>,
+    metrics_json: Option<String>,
+    timeline_out: Option<String>,
 }
 
 impl Default for Args {
@@ -56,14 +60,31 @@ impl Default for Args {
             reclaim_window_ms: None,
             remote_capacity: None,
             timeline: None,
+            obs_level: None,
+            trace_out: None,
+            metrics_json: None,
+            timeline_out: None,
         }
     }
 }
 
 fn workload_by_name(name: &str) -> Option<WorkloadKind> {
-    WorkloadKind::ALL
+    let exact = WorkloadKind::ALL
         .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name) || slug(k.name()) == slug(name))
+        .find(|k| k.name().eq_ignore_ascii_case(name) || slug(k.name()) == slug(name));
+    if exact.is_some() {
+        return exact;
+    }
+    // The paper's shorthand for the OMP variant.
+    if slug(name) == "kmeans" {
+        return Some(WorkloadKind::Kmeans);
+    }
+    // Fall back to a unique prefix ("quick" → "quicksort").
+    let mut hits = WorkloadKind::ALL
+        .into_iter()
+        .filter(|k| slug(k.name()).starts_with(&slug(name)));
+    let first = hits.next()?;
+    hits.next().is_none().then_some(first)
 }
 
 fn slug(s: &str) -> String {
@@ -90,6 +111,10 @@ fn usage() -> ! {
          \n  --reclaim-window <ms> trace-assisted reclaim hot window\
          \n  --remote-capacity <pages> cap the remote memory node\
          \n  --timeline <accesses> print fault counts per window of N accesses\
+         \n  --obs-level <l>      off | counters | full (default counters)\
+         \n  --trace-out <file>   write a Chrome/Perfetto trace (implies full)\
+         \n  --metrics-json <file> write counters + latency percentiles as JSON\
+         \n  --timeline-out <file> write timeline samples as CSV\
          \n  --list               list workloads and exit"
     );
     std::process::exit(2);
@@ -133,16 +158,32 @@ fn parse_args() -> Args {
             "--volatile" => args.volatile = true,
             "--imprecise-lru" => args.imprecise_lru = true,
             "--reclaim-window" => {
-                args.reclaim_window_ms =
-                    Some(value("--reclaim-window").parse().unwrap_or_else(|_| usage()))
+                args.reclaim_window_ms = Some(
+                    value("--reclaim-window")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--remote-capacity" => {
-                args.remote_capacity =
-                    Some(value("--remote-capacity").parse().unwrap_or_else(|_| usage()))
+                args.remote_capacity = Some(
+                    value("--remote-capacity")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--timeline" => {
                 args.timeline = Some(value("--timeline").parse().unwrap_or_else(|_| usage()))
             }
+            "--obs-level" => {
+                let v = value("--obs-level");
+                args.obs_level = Some(ObsLevel::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown obs level {v:?} (off | counters | full)");
+                    usage()
+                }))
+            }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
+            "--timeline-out" => args.timeline_out = Some(value("--timeline-out")),
             "--list" => {
                 println!("{:<13} {:>6} {:>5}  model", "workload", "GB", "cores");
                 for k in WorkloadKind::ALL {
@@ -212,7 +253,11 @@ fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
             args.seed
         ),
     }
-    println!("system            {} ({:.0}% local)", r.system, args.ratio * 100.0);
+    println!(
+        "system            {} ({:.0}% local)",
+        r.system,
+        args.ratio * 100.0
+    );
     println!("completion        {}", r.completion);
     println!("normalized perf   {normalized:.3}");
     let c = &r.counters;
@@ -252,6 +297,25 @@ fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
             t.simple, t.ladder, t.ripple, t.unclassified
         );
     }
+    if r.obs.level.histograms() {
+        let l = &r.obs.latency;
+        let fmt = |s: &hopp_obs::HistogramSummary| {
+            format!(
+                "p50 {} p99 {} max {} ({} samples)",
+                hopp_types::Nanos::from_nanos(s.p50),
+                hopp_types::Nanos::from_nanos(s.p99),
+                hopp_types::Nanos::from_nanos(s.max),
+                s.count
+            )
+        };
+        println!("major-fault lat   {}", fmt(&l.major_fault));
+        println!("timeliness        {}", fmt(&l.timeliness));
+        println!("inflight wait     {}", fmt(&l.inflight_wait));
+        println!("rdma read         {}", fmt(&l.rdma_read));
+        if l.rdma_write.count > 0 {
+            println!("rdma write        {}", fmt(&l.rdma_write));
+        }
+    }
     if !r.timeline.is_empty() {
         println!("\ntimeline (per-window major faults / prefetch-hits):");
         let mut prev = (0u64, 0u64);
@@ -268,6 +332,33 @@ fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
     }
 }
 
+/// Writes the side outputs (`--trace-out`, `--metrics-json`,
+/// `--timeline-out`) after a run.
+fn write_outputs(args: &Args, r: &SimReport) {
+    let write = |path: &str, contents: String, what: &str| {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("writing {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &args.trace_out {
+        write(path, events_to_chrome_trace(&r.obs.events), "trace");
+        println!(
+            "\ntrace             {} events -> {path} ({} dropped; open in Perfetto)",
+            r.obs.events.len(),
+            r.obs.dropped_events
+        );
+    }
+    if let Some(path) = &args.metrics_json {
+        write(path, r.metrics_json(), "metrics");
+        println!("metrics           -> {path}");
+    }
+    if let Some(path) = &args.timeline_out {
+        write(path, r.timeline_csv(), "timeline");
+        println!("timeline          {} samples -> {path}", r.timeline.len());
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -275,16 +366,27 @@ fn main() {
         let mut stream = args
             .workload
             .build(hopp_types::Pid::new(1), args.footprint, args.seed);
-        let count = hopp_trace::pagefile::save_stream(path, &mut stream)
-            .unwrap_or_else(|e| {
-                eprintln!("record failed: {e}");
-                std::process::exit(1);
-            });
+        let count = hopp_trace::pagefile::save_stream(path, &mut stream).unwrap_or_else(|e| {
+            eprintln!("record failed: {e}");
+            std::process::exit(1);
+        });
         println!("recorded {count} page accesses to {path}");
         return;
     }
 
     let system = system_of(&args);
+    // --trace-out needs the event stream: upgrade to `full` unless the
+    // user explicitly picked a level that already records events.
+    let mut obs_level = args.obs_level.unwrap_or_default();
+    if args.trace_out.is_some() && !obs_level.events() {
+        obs_level = ObsLevel::Full;
+    }
+    // --timeline-out needs samples: default to one per 1000 accesses.
+    let timeline_every = match args.timeline {
+        Some(n) => n,
+        None if args.timeline_out.is_some() => 1_000,
+        None => 0,
+    };
     let config = SimConfig {
         channels: args.channels,
         rdma: if args.volatile {
@@ -293,11 +395,10 @@ fn main() {
             hopp_net::RdmaConfig::default()
         },
         precise_lru: !args.imprecise_lru,
-        trace_assisted_reclaim: args
-            .reclaim_window_ms
-            .map(hopp_types::Nanos::from_millis),
+        trace_assisted_reclaim: args.reclaim_window_ms.map(hopp_types::Nanos::from_millis),
         remote_capacity_pages: args.remote_capacity,
-        timeline_every: args.timeline.unwrap_or(0),
+        timeline_every,
+        obs_level,
         ..SimConfig::with_system(system)
     };
 
@@ -308,7 +409,10 @@ fn main() {
         });
         let distinct: std::collections::HashSet<u64> =
             accesses.iter().map(|a| a.vpn.raw()).collect();
-        let pid = accesses.first().map(|a| a.pid).unwrap_or(hopp_types::Pid::new(1));
+        let pid = accesses
+            .first()
+            .map(|a| a.pid)
+            .unwrap_or(hopp_types::Pid::new(1));
         let limit = ((distinct.len() as f64 * args.ratio).ceil() as usize).max(64);
         println!(
             "replaying {} accesses over {} distinct pages from {path}\n",
@@ -340,12 +444,14 @@ fn main() {
         .expect("valid local replay configuration")
         .run();
         print_report(&args, local.completion.as_nanos() as f64, &report);
+        write_outputs(&args, &report);
         return;
     }
 
     let local = run_local(args.workload, args.footprint, args.seed);
     let report = run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio);
     print_report(&args, local.completion.as_nanos() as f64, &report);
+    write_outputs(&args, &report);
 }
 
 #[cfg(test)]
@@ -360,6 +466,13 @@ mod tests {
         assert_eq!(workload_by_name("npbmg"), Some(WorkloadKind::NpbMg));
         assert_eq!(workload_by_name("GraphX-PR"), Some(WorkloadKind::GraphPr));
         assert_eq!(workload_by_name("nope"), None);
+    }
+
+    #[test]
+    fn unique_prefixes_resolve_ambiguous_ones_do_not() {
+        assert_eq!(workload_by_name("kmeans"), Some(WorkloadKind::Kmeans));
+        // "npb" prefixes several NPB workloads: ambiguous.
+        assert_eq!(workload_by_name("npb"), None);
     }
 
     #[test]

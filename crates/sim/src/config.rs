@@ -6,6 +6,7 @@ use hopp_core::HoppConfig;
 use hopp_hw::{HpdConfig, RptCacheConfig};
 use hopp_kernel::{FaultLatencyModel, NoPrefetch, Prefetcher};
 use hopp_net::RdmaConfig;
+use hopp_obs::ObsLevel;
 use hopp_trace::llc::LlcConfig;
 use hopp_trace::AccessStream;
 use hopp_types::{Nanos, Pid};
@@ -142,6 +143,11 @@ pub struct SimConfig {
     /// scans accessed bits; this is the regime where trace-assisted
     /// reclaim has real information to add.
     pub precise_lru: bool,
+    /// How much observability the run collects: `Off` (nothing, the
+    /// provably-free path), `Counters` (latency histograms, the
+    /// default) or `Full` (histograms plus the typed event stream).
+    /// Never changes simulated behaviour — only what the report holds.
+    pub obs_level: ObsLevel,
 }
 
 impl Default for SimConfig {
@@ -164,6 +170,7 @@ impl Default for SimConfig {
             reclaim_in_advance: true,
             remote_capacity_pages: None,
             precise_lru: true,
+            obs_level: ObsLevel::default(),
         }
     }
 }
@@ -226,9 +233,6 @@ mod tests {
     #[test]
     fn system_names() {
         assert_eq!(SystemConfig::hopp_default().name(), "hopp");
-        assert_eq!(
-            SystemConfig::Baseline(BaselineKind::Leap).name(),
-            "leap"
-        );
+        assert_eq!(SystemConfig::Baseline(BaselineKind::Leap).name(), "leap");
     }
 }

@@ -42,7 +42,7 @@ pub mod runner;
 pub mod simulator;
 
 pub use config::{AppSpec, BaselineKind, SimConfig, SystemConfig};
-pub use report::{AppReport, Counters, SimReport};
+pub use report::{AppReport, Counters, ObsReport, SimReport};
 pub use runner::{
     normalized_performance, run_local, run_workload, run_workload_with, speedup_over,
 };

@@ -1,11 +1,13 @@
 //! Run results: counters, per-app completion and the paper's metrics.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use hopp_core::metrics::MetricsReport;
 use hopp_core::three_tier::TierStats;
 use hopp_hw::{BandwidthLedger, HpdStats, RptStats};
 use hopp_net::RdmaStats;
+use hopp_obs::{LatencySummaries, ObsLevel, TimedEvent};
 use hopp_trace::llc::LlcStats;
 use hopp_types::{Nanos, Pid};
 
@@ -104,6 +106,23 @@ pub struct SimReport {
     /// Periodic counter samples (empty unless
     /// `SimConfig::timeline_every > 0`).
     pub timeline: Vec<TimelineSample>,
+    /// Observability: latency histograms and (at `full` level) the
+    /// typed event stream.
+    pub obs: ObsReport,
+}
+
+/// Observability output of a run.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// The level the run was recorded at.
+    pub level: ObsLevel,
+    /// Latency percentile summaries (zeroed at level `off`).
+    pub latency: LatencySummaries,
+    /// The typed event stream (empty below level `full`).
+    pub events: Vec<TimedEvent>,
+    /// Events the ring buffer had to drop (oldest-first) to stay
+    /// within capacity.
+    pub dropped_events: u64,
 }
 
 impl SimReport {
@@ -164,11 +183,136 @@ impl SimReport {
     pub fn app_completion(&self, pid: Pid) -> Option<Nanos> {
         self.per_app.get(&pid).map(|a| a.finished_at)
     }
+
+    /// Renders the report as a self-contained JSON document (the
+    /// `hoppsim --metrics-json` payload): counters, combined and
+    /// per-path prefetch metrics with full timeliness distributions,
+    /// and the latency percentile summaries. Hand-rolled, numeric-only
+    /// JSON — byte-stable for a given seed and config.
+    pub fn metrics_json(&self) -> String {
+        let mut o = String::with_capacity(2048);
+        o.push('{');
+        let _ = write!(o, "\"system\":\"{}\"", self.system);
+        let _ = write!(o, ",\"completion_ns\":{}", self.completion.as_nanos());
+        let c = &self.counters;
+        let _ = write!(
+            o,
+            ",\"counters\":{{\"accesses\":{},\"major_faults\":{},\"minor_faults\":{},\
+             \"first_touches\":{},\"dram_hits\":{},\"inflight_waits\":{},\"reclaimed\":{},\
+             \"writebacks\":{},\"baseline_prefetches\":{},\"hopp_prefetches\":{}}}",
+            c.accesses,
+            c.major_faults,
+            c.minor_faults,
+            c.first_touches,
+            c.dram_hits,
+            c.inflight_waits,
+            c.reclaimed,
+            c.writebacks,
+            c.baseline_prefetches,
+            c.hopp_prefetches
+        );
+        let _ = write!(
+            o,
+            ",\"accuracy\":{:.6},\"coverage\":{:.6}",
+            self.accuracy(),
+            self.coverage()
+        );
+        o.push_str(",\"baseline\":");
+        write_metrics_json(&mut o, &self.baseline);
+        if let Some(h) = &self.hopp {
+            o.push_str(",\"hopp\":");
+            write_metrics_json(&mut o, h);
+        }
+        if let Some(tiers) = &self.hopp_tiers {
+            o.push_str(",\"hopp_tiers\":{");
+            for (i, (name, t)) in ["ssp", "lsp", "rsp"].iter().zip(tiers).enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "\"{name}\":");
+                write_metrics_json(&mut o, t);
+            }
+            o.push('}');
+        }
+        let _ = write!(
+            o,
+            ",\"rdma\":{{\"reads\":{},\"writes\":{},\"bytes\":{},\"queueing_ns\":{}}}",
+            self.rdma.reads,
+            self.rdma.writes,
+            self.rdma.bytes,
+            self.rdma.queueing.as_nanos()
+        );
+        let _ = write!(o, ",\"obs_level\":\"{}\"", self.obs.level.label());
+        o.push_str(",\"latency\":{");
+        for (i, (name, h)) in [
+            ("major_fault", &self.obs.latency.major_fault),
+            ("prefetch_timeliness", &self.obs.latency.timeliness),
+            ("inflight_wait", &self.obs.latency.inflight_wait),
+            ("rdma_read", &self.obs.latency.rdma_read),
+            ("rdma_write", &self.obs.latency.rdma_write),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "\"{name}\":");
+            h.write_json(&mut o);
+        }
+        o.push('}');
+        let _ = write!(
+            o,
+            ",\"events\":{},\"dropped_events\":{}",
+            self.obs.events.len(),
+            self.obs.dropped_events
+        );
+        o.push('}');
+        o
+    }
+
+    /// Renders the timeline samples as CSV (the `hoppsim
+    /// --timeline-out` payload), one row per sample plus a header.
+    pub fn timeline_csv(&self) -> String {
+        let mut o = String::with_capacity(64 + self.timeline.len() * 48);
+        o.push_str("at_ns,accesses,major_faults,minor_faults,hopp_injected\n");
+        for s in &self.timeline {
+            let _ = writeln!(
+                o,
+                "{},{},{},{},{}",
+                s.at.as_nanos(),
+                s.accesses,
+                s.major_faults,
+                s.minor_faults,
+                s.hopp_injected
+            );
+        }
+        o
+    }
+}
+
+/// Writes one [`MetricsReport`] as a JSON object.
+fn write_metrics_json(o: &mut String, m: &MetricsReport) {
+    let _ = write!(
+        o,
+        "{{\"prefetched\":{},\"prefetch_hits\":{},\"demand_remote\":{},\"wasted\":{},\
+         \"accuracy\":{:.6},\"coverage\":{:.6},\"mean_timeliness_ns\":{},\"timeliness\":",
+        m.prefetched,
+        m.prefetch_hits,
+        m.demand_remote,
+        m.wasted,
+        m.accuracy,
+        m.coverage,
+        m.mean_timeliness.as_nanos()
+    );
+    m.timeliness.write_json(o);
+    o.push('}');
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hopp_obs::HistogramSummary;
 
     fn empty_report() -> SimReport {
         SimReport {
@@ -180,9 +324,11 @@ mod tests {
                 prefetched: 0,
                 prefetch_hits: 0,
                 demand_remote: 0,
+                wasted: 0,
                 accuracy: 1.0,
                 coverage: 0.0,
                 mean_timeliness: Nanos::ZERO,
+                timeliness: HistogramSummary::default(),
             },
             hopp: None,
             hopp_tiers: None,
@@ -193,6 +339,7 @@ mod tests {
             llc: LlcStats::default(),
             rdma: RdmaStats::default(),
             timeline: Vec::new(),
+            obs: ObsReport::default(),
         }
     }
 
@@ -213,17 +360,21 @@ mod tests {
             prefetched: 20,
             prefetch_hits: 5,
             demand_remote: 10,
+            wasted: 0,
             accuracy: 0.25,
             coverage: 0.0,
             mean_timeliness: Nanos::ZERO,
+            timeliness: HistogramSummary::default(),
         };
         r.hopp = Some(MetricsReport {
             prefetched: 40,
             prefetch_hits: 35,
             demand_remote: 10,
+            wasted: 0,
             accuracy: 0.875,
             coverage: 0.0,
             mean_timeliness: Nanos::ZERO,
+            timeliness: HistogramSummary::default(),
         });
         // denom = 10 + 5 + 35 = 50
         assert!((r.coverage_swapcache() - 0.1).abs() < 1e-12);
@@ -231,5 +382,42 @@ mod tests {
         assert!((r.coverage() - 0.8).abs() < 1e-12);
         // accuracy = 40 hits / 60 prefetched
         assert!((r.accuracy() - 40.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_json_has_percentile_keys() {
+        let j = empty_report().metrics_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"major_fault\":",
+            "\"prefetch_timeliness\":",
+            "\"p50_ns\":",
+            "\"p90_ns\":",
+            "\"p99_ns\":",
+            "\"baseline\":",
+            "\"counters\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn timeline_csv_has_header_and_rows() {
+        let mut r = empty_report();
+        r.timeline.push(TimelineSample {
+            at: Nanos::from_nanos(500),
+            accesses: 10,
+            major_faults: 2,
+            minor_faults: 1,
+            hopp_injected: 3,
+        });
+        let csv = r.timeline_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("at_ns,accesses,major_faults,minor_faults,hopp_injected")
+        );
+        assert_eq!(lines.next(), Some("500,10,2,1,3"));
+        assert_eq!(lines.next(), None);
     }
 }

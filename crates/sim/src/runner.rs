@@ -28,7 +28,13 @@ pub fn run_workload(
     system: SystemConfig,
     mem_ratio: f64,
 ) -> SimReport {
-    run_workload_with(SimConfig::with_system(system), kind, footprint_pages, seed, mem_ratio)
+    run_workload_with(
+        SimConfig::with_system(system),
+        kind,
+        footprint_pages,
+        seed,
+        mem_ratio,
+    )
 }
 
 /// [`run_workload`] with full control over the machine configuration.

@@ -12,12 +12,13 @@ use hopp_kernel::swapcache::CacheFill;
 use hopp_kernel::{Cgroup, FaultInfo, LruLists, LruTier, Prefetcher, SwapCache, SwapDevice};
 use hopp_mem::{AddressSpace, FrameAllocator, Mapping};
 use hopp_net::{CompletionQueue, RdmaEngine};
+use hopp_obs::{Event, LatencyHistograms, ObsRecorder, Recorder};
 use hopp_trace::patterns::AccessStream;
 use hopp_trace::LastLevelCache;
 use hopp_types::{Error, Nanos, PageAccess, Pid, Ppn, Result, Vpn};
 
 use crate::config::{AppSpec, SimConfig, SystemConfig};
-use crate::report::{AppReport, Counters, SimReport, TimelineSample};
+use crate::report::{AppReport, Counters, ObsReport, SimReport, TimelineSample};
 
 /// A fault-path prefetch in flight.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,6 +85,14 @@ pub struct Simulator {
     /// (consulted by trace-assisted reclaim, §IV).
     last_hot: HashMap<Ppn, Nanos>,
     timeline: Vec<TimelineSample>,
+    /// Event recorder (`Off` below [`hopp_obs::ObsLevel::Full`]).
+    /// Stored by value so instrumented callees can borrow it disjointly
+    /// from the components they belong to.
+    recorder: ObsRecorder,
+    /// Latency histograms, fed when `config.obs_level.histograms()`.
+    hists: LatencyHistograms,
+    /// Cached `config.obs_level.histograms()` for the hot path.
+    obs_hists: bool,
 }
 
 impl Simulator {
@@ -168,6 +177,9 @@ impl Simulator {
             prefetch_buf: Vec::new(),
             last_hot: HashMap::new(),
             timeline: Vec::new(),
+            recorder: ObsRecorder::for_level(config.obs_level),
+            hists: LatencyHistograms::default(),
+            obs_hists: config.obs_level.histograms(),
             config,
         })
     }
@@ -210,7 +222,10 @@ impl Simulator {
         self.counters.accesses += 1;
         self.apps[app_idx].1.accesses += 1;
         if self.config.timeline_every > 0
-            && self.counters.accesses.is_multiple_of(self.config.timeline_every)
+            && self
+                .counters
+                .accesses
+                .is_multiple_of(self.config.timeline_every)
         {
             self.timeline.push(TimelineSample {
                 at: self.clock,
@@ -233,10 +248,18 @@ impl Simulator {
             .copied()
             .or_else(|| self.hopp_inflight.get(&key).copied());
         if let Some(due) = inflight_due {
+            let wait = due.saturating_since(self.clock);
             if due > self.clock {
                 self.clock = due;
             }
             self.counters.inflight_waits += 1;
+            if self.obs_hists {
+                self.hists.inflight_wait.record_nanos(wait);
+            }
+            if self.recorder.is_enabled() {
+                self.recorder
+                    .record(self.clock, Event::InflightWait { pid, vpn, wait });
+            }
             self.drain_completions();
         }
 
@@ -273,7 +296,10 @@ impl Simulator {
             }
         }
         if !access.kind.is_read() {
-            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+            self.spaces
+                .get_mut(&pid)
+                .expect("known pid")
+                .mark_dirty(vpn);
         }
         self.record_first_hit(pid, vpn);
         self.line_loop(pid, vpn, ppn, access);
@@ -282,8 +308,10 @@ impl Simulator {
     /// First application access to a prefetched page: metrics +
     /// timeliness feedback.
     fn record_first_hit(&mut self, pid: Pid, vpn: Vpn) {
+        let mut timeliness = None;
         if let Some(h) = &mut self.hopp {
             if let Some(t) = h.metrics.on_first_access(pid, vpn, self.clock) {
+                timeliness = Some(t);
                 if let Some((stream, tier)) = h.injected.remove(&(pid, vpn)) {
                     h.engine.on_timeliness(stream, t);
                     h.tier_metrics[tier_index(tier)].on_first_access(pid, vpn, self.clock);
@@ -291,7 +319,30 @@ impl Simulator {
             }
         }
         // Depth-N's injected pages live in the baseline metrics.
-        self.base_metrics.on_first_access(pid, vpn, self.clock);
+        if let Some(t) = self.base_metrics.on_first_access(pid, vpn, self.clock) {
+            timeliness = Some(t);
+        }
+        if let Some(t) = timeliness {
+            self.on_prefetch_hit(pid, vpn, t);
+        }
+    }
+
+    /// Observability for a prefetched page's first touch: the
+    /// timeliness histogram and (at `full`) a [`Event::PrefetchHit`].
+    fn on_prefetch_hit(&mut self, pid: Pid, vpn: Vpn, timeliness: Nanos) {
+        if self.obs_hists {
+            self.hists.timeliness.record_nanos(timeliness);
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                self.clock,
+                Event::PrefetchHit {
+                    pid,
+                    vpn,
+                    timeliness,
+                },
+            );
+        }
     }
 
     /// Swapcache hit: a minor fault (*prefetch-hit*, 2.3 µs).
@@ -301,14 +352,23 @@ impl Simulator {
         self.apps[app_idx].1.minor_faults += 1;
 
         let entry = self.swapcache.take(pid, vpn).expect("checked contains");
-        self.base_metrics.on_first_access(pid, vpn, self.clock);
+        if let Some(t) = self.base_metrics.on_first_access(pid, vpn, self.clock) {
+            self.on_prefetch_hit(pid, vpn, t);
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record(self.clock, Event::MinorFault { pid, vpn });
+        }
         if let Some(slot) = entry.slot {
             self.swapdev.free(slot);
         }
         self.sc_lru.remove(entry.ppn);
         self.map_page(pid, vpn, entry.ppn);
         if !access.kind.is_read() {
-            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+            self.spaces
+                .get_mut(&pid)
+                .expect("known pid")
+                .mark_dirty(vpn);
         }
 
         self.notify_baseline(FaultInfo {
@@ -337,14 +397,31 @@ impl Simulator {
             h.metrics.on_demand_remote();
         }
 
-        let done = self.rdma.issue_page_read(self.clock);
+        let started = self.clock;
+        let done = self
+            .rdma
+            .issue_page_read_rec(self.clock, &mut self.recorder);
         self.clock = done + self.config.latency.major_fault_cpu();
+        let latency = self.clock.saturating_since(started);
+        if self.obs_hists {
+            self.hists.major_fault.record_nanos(latency);
+            self.hists
+                .rdma_read
+                .record_nanos(done.saturating_since(started));
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record(self.clock, Event::MajorFault { pid, vpn, latency });
+        }
 
         let ppn = self.ensure_frame(pid, vpn);
         self.swapdev.free(slot);
         self.map_page(pid, vpn, ppn);
         if !access.kind.is_read() {
-            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+            self.spaces
+                .get_mut(&pid)
+                .expect("known pid")
+                .mark_dirty(vpn);
         }
 
         self.notify_baseline(FaultInfo {
@@ -362,10 +439,17 @@ impl Simulator {
     fn first_touch(&mut self, pid: Pid, vpn: Vpn, access: &PageAccess) {
         self.clock += self.config.latency.context_switch + self.config.latency.pte_establish;
         self.counters.first_touches += 1;
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record(self.clock, Event::FirstTouch { pid, vpn });
+        }
         let ppn = self.ensure_frame(pid, vpn);
         self.map_page(pid, vpn, ppn);
         if !access.kind.is_read() {
-            self.spaces.get_mut(&pid).expect("known pid").mark_dirty(vpn);
+            self.spaces
+                .get_mut(&pid)
+                .expect("known pid")
+                .mark_dirty(vpn);
         }
         self.line_loop(pid, vpn, ppn, access);
     }
@@ -394,7 +478,10 @@ impl Simulator {
                 self.clock += self.config.llc_hit;
             } else {
                 self.clock += self.config.latency.dram_miss;
-                if let Some(hot) = self.mc.on_llc_miss(addr, access.kind, self.clock) {
+                if let Some(hot) =
+                    self.mc
+                        .on_llc_miss_rec(addr, access.kind, self.clock, &mut self.recorder)
+                {
                     if self.config.trace_assisted_reclaim.is_some() {
                         self.last_hot.insert(ppn, self.clock);
                     }
@@ -409,12 +496,14 @@ impl Simulator {
     /// resulting orders on the separate data path.
     fn on_hot_page(&mut self, hot: hopp_types::HotPage) {
         let Some(h) = &mut self.hopp else { return };
-        let orders = h.engine.on_hot_page(&hot);
+        let orders = h.engine.on_hot_page_rec(&hot, &mut self.recorder);
         for order in orders {
             let key = (order.pid, order.vpn);
             // Only pages that actually live remotely are fetchable.
             let swapped = matches!(
-                self.spaces.get(&order.pid).and_then(|s| s.lookup(order.vpn)),
+                self.spaces
+                    .get(&order.pid)
+                    .and_then(|s| s.lookup(order.vpn)),
                 Some(Mapping::Swapped(_))
             );
             if !swapped
@@ -439,7 +528,7 @@ impl Simulator {
                     continue;
                 }
             }
-            if let Some(due) = h.exec.request_span(
+            if let Some(due) = h.exec.request_span_rec(
                 order.pid,
                 order.vpn,
                 order.span,
@@ -447,11 +536,19 @@ impl Simulator {
                 order.tier,
                 self.clock,
                 &mut self.rdma,
+                &mut self.recorder,
             ) {
+                if self.obs_hists {
+                    self.hists
+                        .rdma_read
+                        .record_nanos(due.saturating_since(self.clock));
+                }
                 // Mark every (currently remote) page of the span as in
                 // flight so demand faults wait instead of re-fetching.
                 for k in 0..u64::from(order.span) {
-                    let Some(vpn) = order.vpn.offset(k as i64) else { break };
+                    let Some(vpn) = order.vpn.offset(k as i64) else {
+                        break;
+                    };
                     if matches!(
                         self.spaces.get(&order.pid).and_then(|sp| sp.lookup(vpn)),
                         Some(Mapping::Swapped(_))
@@ -469,6 +566,7 @@ impl Simulator {
         let mut reqs = std::mem::take(&mut self.prefetch_buf);
         reqs.clear();
         self.baseline.on_fault(&fault, &self.swapdev, &mut reqs);
+        hopp_kernel::prefetcher::record_baseline_requests(self.clock, &reqs, &mut self.recorder);
         for req in &reqs {
             self.issue_baseline_prefetch(*req);
         }
@@ -488,7 +586,14 @@ impl Simulator {
         {
             return;
         }
-        let done = self.rdma.issue_page_read(self.clock);
+        let done = self
+            .rdma
+            .issue_page_read_rec(self.clock, &mut self.recorder);
+        if self.obs_hists {
+            self.hists
+                .rdma_read
+                .record_nanos(done.saturating_since(self.clock));
+        }
         self.base_inflight.insert(key, done);
         self.base_cq.push(
             done,
@@ -508,12 +613,7 @@ impl Simulator {
         }
         if self.hopp.is_some() {
             loop {
-                let completions = self
-                    .hopp
-                    .as_mut()
-                    .expect("checked")
-                    .exec
-                    .poll(self.clock);
+                let completions = self.hopp.as_mut().expect("checked").exec.poll(self.clock);
                 if completions.is_empty() {
                     break;
                 }
@@ -539,6 +639,16 @@ impl Simulator {
         let ppn = self.ensure_frame(arrival.pid, arrival.vpn);
         self.base_metrics
             .on_prefetch_arrival(arrival.pid, arrival.vpn, done);
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                done,
+                Event::PrefetchArrived {
+                    pid: arrival.pid,
+                    vpn: arrival.vpn,
+                    span: 1,
+                },
+            );
+        }
         if arrival.inject {
             // Depth-N semantics: eager PTE injection, page charged and
             // on the *active* list (§II-C).
@@ -560,14 +670,25 @@ impl Simulator {
     }
 
     fn handle_hopp_completion(&mut self, c: hopp_core::Completion) {
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                c.done_at,
+                Event::PrefetchArrived {
+                    pid: c.pid,
+                    vpn: c.vpn,
+                    span: c.span,
+                },
+            );
+        }
         // A span-1 completion injects one page; a huge-page batch (§IV)
         // injects every page of the range that is still remote.
         for k in 0..u64::from(c.span) {
-            let Some(vpn) = c.vpn.offset(k as i64) else { break };
+            let Some(vpn) = c.vpn.offset(k as i64) else {
+                break;
+            };
             let key = (c.pid, vpn);
             self.hopp_inflight.remove(&key);
-            let Some(Mapping::Swapped(slot)) =
-                self.spaces.get(&c.pid).and_then(|s| s.lookup(vpn))
+            let Some(Mapping::Swapped(slot)) = self.spaces.get(&c.pid).and_then(|s| s.lookup(vpn))
             else {
                 continue;
             };
@@ -636,23 +757,29 @@ impl Simulator {
         }
         let (pid, vpn) = self.frames.owner(ppn).expect("evicting an owned frame");
         self.counters.reclaimed += 1;
+        // For the Reclaim event: which list the frame came off, captured
+        // before the removals below lose that information.
+        let active = self
+            .sc_lru
+            .tier_of(ppn)
+            .or_else(|| self.lrus.get(&pid).and_then(|l| l.tier_of(ppn)))
+            == Some(LruTier::Active);
         self.sc_lru.remove(ppn);
         if let Some(lru) = self.lrus.get_mut(&pid) {
             lru.remove(ppn);
         }
-        if self
-            .swapcache
-            .peek(pid, vpn)
-            .is_some_and(|e| e.ppn == ppn)
-        {
+        let dirty;
+        let mut wasted;
+        if self.swapcache.peek(pid, vpn).is_some_and(|e| e.ppn == ppn) {
             // An unconsumed prefetch: drop it; the swap copy remains
             // valid at its slot.
             self.swapcache.evict(pid, vpn);
-            self.base_metrics.on_evicted_unused(pid, vpn);
+            wasted = self.base_metrics.on_evicted_unused(pid, vpn);
+            dirty = false;
         } else {
             let slot = self
                 .swapdev
-                .alloc(pid, vpn)
+                .alloc_rec(pid, vpn, self.clock, &mut self.recorder)
                 .expect("remote memory node exhausted; raise remote_capacity_pages");
             let pte = self
                 .spaces
@@ -661,21 +788,38 @@ impl Simulator {
                 .swap_out(vpn, slot, &mut self.mc)
                 .expect("mapped page");
             debug_assert_eq!(pte.ppn, ppn);
+            dirty = pte.dirty;
             if pte.dirty {
                 // Writeback happens off the critical path but occupies
                 // the shared link.
-                self.rdma.issue_page_write(self.clock);
+                let done = self
+                    .rdma
+                    .issue_page_write_rec(self.clock, &mut self.recorder);
+                if self.obs_hists {
+                    self.hists
+                        .rdma_write
+                        .record_nanos(done.saturating_since(self.clock));
+                }
                 self.counters.writebacks += 1;
             }
             self.cgroups.get_mut(&pid).expect("known pid").uncharge();
             // Injected-but-never-used prefetches die here.
+            wasted = false;
             if let Some(h) = &mut self.hopp {
                 if let Some((_, tier)) = h.injected.remove(&(pid, vpn)) {
-                    h.metrics.on_evicted_unused(pid, vpn);
+                    wasted |= h.metrics.on_evicted_unused(pid, vpn);
                     h.tier_metrics[tier_index(tier)].on_evicted_unused(pid, vpn);
                 }
             }
-            self.base_metrics.on_evicted_unused(pid, vpn);
+            wasted |= self.base_metrics.on_evicted_unused(pid, vpn);
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record(self.clock, Event::Reclaim { ppn, active, dirty });
+            if wasted {
+                self.recorder
+                    .record(self.clock, Event::PrefetchWasted { pid, vpn });
+            }
         }
         self.last_hot.remove(&ppn);
         self.frames.free(ppn).expect("owned frame frees");
@@ -719,7 +863,7 @@ impl Simulator {
         self.lrus.get_mut(&pid).expect("known pid").pop_evict()
     }
 
-    fn report(self) -> SimReport {
+    fn report(mut self) -> SimReport {
         let mut per_app = BTreeMap::new();
         let mut completion = Nanos::ZERO;
         for (pid, rt) in &self.apps {
@@ -762,6 +906,16 @@ impl Simulator {
             llc: self.llc.stats(),
             rdma: self.rdma.stats(),
             timeline: self.timeline,
+            obs: ObsReport {
+                level: self.config.obs_level,
+                latency: if self.config.obs_level.histograms() {
+                    self.hists.summaries()
+                } else {
+                    Default::default()
+                },
+                dropped_events: self.recorder.dropped(),
+                events: std::mem::take(&mut self.recorder).into_events(),
+            },
         }
     }
 }
@@ -835,7 +989,10 @@ mod tests {
             r.counters
         );
         assert!(r.counters.major_faults < 500);
-        assert!(r.baseline.accuracy > 0.8, "sequential readahead is accurate");
+        assert!(
+            r.baseline.accuracy > 0.8,
+            "sequential readahead is accurate"
+        );
     }
 
     #[test]
@@ -873,9 +1030,7 @@ mod tests {
     fn dirty_pages_are_written_back() {
         let app = AppSpec {
             pid: Pid::new(1),
-            stream: Box::new(
-                SimpleStream::new(Pid::new(1), Vpn::new(1 << 20), 1, 1_000).writes(),
-            ),
+            stream: Box::new(SimpleStream::new(Pid::new(1), Vpn::new(1 << 20), 1, 1_000).writes()),
             limit_pages: 400,
         };
         let r = run(SystemConfig::Baseline(BaselineKind::NoPrefetch), app);
@@ -1038,6 +1193,38 @@ mod tests {
             dynamic.completion,
             pinned.completion
         );
+    }
+
+    #[test]
+    fn obs_level_never_changes_simulated_behaviour() {
+        use hopp_obs::ObsLevel;
+        let run_at = |level: ObsLevel| {
+            let config = SimConfig {
+                obs_level: level,
+                ..SimConfig::with_system(SystemConfig::hopp_default())
+            };
+            Simulator::new(config, vec![scan_app(1, 1_000, 2, 500)])
+                .unwrap()
+                .run()
+        };
+        let off = run_at(ObsLevel::Off);
+        let counters = run_at(ObsLevel::Counters);
+        let full = run_at(ObsLevel::Full);
+        // The observability layer must be a pure observer: every counter
+        // and the completion time are bit-identical across levels.
+        assert_eq!(off.counters, counters.counters);
+        assert_eq!(off.counters, full.counters);
+        assert_eq!(off.completion, counters.completion);
+        assert_eq!(off.completion, full.completion);
+        assert_eq!(off.rdma, full.rdma);
+        // And each level collects exactly what it promises.
+        assert_eq!(off.obs.latency.major_fault.count, 0);
+        assert!(off.obs.events.is_empty());
+        assert!(counters.obs.latency.major_fault.count > 0);
+        assert!(counters.obs.events.is_empty());
+        assert!(full.obs.latency.major_fault.count > 0);
+        assert!(!full.obs.events.is_empty());
+        assert_eq!(full.obs.dropped_events, 0);
     }
 
     #[test]

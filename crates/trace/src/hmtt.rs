@@ -390,14 +390,19 @@ mod tests {
     fn file_rejects_bad_magic_and_truncation() {
         assert!(file::read(&b"NOTATRCE"[..]).is_err());
         let mut buf = Vec::new();
-        file::write(&mut buf, &[HmttRecord::capture(0, &acc(0, 0, AccessKind::Read))]).unwrap();
+        file::write(
+            &mut buf,
+            &[HmttRecord::capture(0, &acc(0, 0, AccessKind::Read))],
+        )
+        .unwrap();
         buf.pop(); // truncate the record
         assert!(file::read(&buf[..]).is_err());
     }
 
     #[test]
     fn file_save_load_on_disk() {
-        let path = std::env::temp_dir().join(format!("hopp_hmtt_test_{}.trace", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("hopp_hmtt_test_{}.trace", std::process::id()));
         let records: Vec<HmttRecord> = (0..8u64)
             .map(|i| HmttRecord::capture(i, &acc(i, i * 64, AccessKind::Write)))
             .collect();

@@ -39,8 +39,8 @@ pub mod pagefile;
 pub mod patterns;
 
 pub use hmtt::{HmttDecoder, HmttRecord, TraceRing};
-pub use pagefile::TraceFileStream;
 pub use llc::{LastLevelCache, LlcConfig, LlcStats};
+pub use pagefile::TraceFileStream;
 pub use patterns::{
     AccessStream, Chain, Interleaver, LadderStream, NoiseStream, RippleStream, SimpleStream,
 };

@@ -16,9 +16,8 @@
 //! merges several generators to model concurrent threads — the very
 //! situation that confuses fault-history-only prefetchers (§II-B ②).
 
+use hopp_types::rng::SplitMix64;
 use hopp_types::{AccessKind, PageAccess, Pid, Vpn, LINES_PER_PAGE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A source of page accesses: the interface between workload models and
 /// the simulator.
@@ -252,7 +251,7 @@ impl RippleStream {
     /// Panics if `jitter` is not within `0.0..=1.0`.
     pub fn new(pid: Pid, start: Vpn, len: u64, jitter: f64, hop_every: u64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&jitter), "jitter must be in 0..=1");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut queue: Vec<Vpn> = (0..len)
             .map(|i| Vpn::new(start.raw().saturating_add(i)))
             .collect();
@@ -335,7 +334,7 @@ pub struct NoiseStream {
     lo: u64,
     hi: u64,
     remaining: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     shape: TouchShape,
 }
 
@@ -352,7 +351,7 @@ impl NoiseStream {
             lo: lo.raw(),
             hi: hi.raw(),
             remaining: len,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             shape: TouchShape {
                 lines: 4, // random touches rarely cover a full page
                 ..TouchShape::default()
@@ -447,7 +446,7 @@ pub struct Interleaver {
     live: Vec<bool>,
     schedule: Schedule,
     next_rr: usize,
-    rng: SmallRng,
+    rng: SplitMix64,
     label: String,
 }
 
@@ -470,7 +469,7 @@ impl Interleaver {
             children,
             schedule: Schedule::RoundRobin,
             next_rr: 0,
-            rng: SmallRng::seed_from_u64(0),
+            rng: SplitMix64::seed_from_u64(0),
             label: "interleave-rr".to_string(),
         }
     }
@@ -492,7 +491,7 @@ impl Interleaver {
             weights,
             schedule: Schedule::Weighted,
             next_rr: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             label: "interleave-w".to_string(),
         }
     }

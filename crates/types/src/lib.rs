@@ -29,11 +29,13 @@
 pub mod access;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod time;
 
 pub use access::{AccessKind, HotPage, LineAccess, PageAccess, PageFlags};
 pub use error::{Error, Result};
 pub use ids::{LineAddr, Pid, Ppn, SwapSlot, Vpn};
+pub use rng::SplitMix64;
 pub use time::Nanos;
 
 /// Size of a (small) page in bytes. The paper's kernel swap path and all

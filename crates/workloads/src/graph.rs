@@ -47,14 +47,9 @@ fn supersteps(
         let parts: Vec<Box<dyn AccessStream>> = (0..segments)
             .map(|s| {
                 Box::new(
-                    SimpleStream::new(
-                        pid,
-                        (HEAP_BASE + vertex + s * seg_len).into(),
-                        1,
-                        seg_len,
-                    )
-                    .with_lines(SCAN_LINES)
-                    .with_think(THINK_NS),
+                    SimpleStream::new(pid, (HEAP_BASE + vertex + s * seg_len).into(), 1, seg_len)
+                        .with_lines(SCAN_LINES)
+                        .with_think(THINK_NS),
                 ) as Box<dyn AccessStream>
             })
             .collect();
@@ -139,16 +134,23 @@ mod tests {
 
     #[test]
     fn bfs_is_noisier_than_pr() {
-        // Count stride-1 pairs as a regularity proxy.
+        // Count stride-1 pairs as a regularity proxy. A single seed can
+        // land on either side of the margin, so compare the mean over
+        // several seeds: the structural claim (PR has fewer segments,
+        // less jitter and less noise than BFS) must win on average.
         let reg = |v: &[u64]| {
             v.windows(2)
                 .filter(|w| w[1] as i64 - w[0] as i64 == 1)
                 .count() as f64
                 / v.len() as f64
         };
-        let b = pages(bfs(Pid::new(1), 2_048, 7));
-        let p = pages(pr(Pid::new(1), 2_048, 7));
-        assert!(reg(&p) > reg(&b), "PR is more sequential than BFS");
+        let mean = |f: fn(Pid, u64, u64) -> Box<dyn AccessStream>| {
+            (0..5u64)
+                .map(|s| reg(&pages(f(Pid::new(1), 2_048, 7 + s))))
+                .sum::<f64>()
+                / 5.0
+        };
+        assert!(mean(pr) > mean(bfs), "PR is more sequential than BFS");
     }
 
     #[test]

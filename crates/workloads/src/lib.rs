@@ -232,7 +232,10 @@ impl WorkloadKind {
     /// stream touches pages in `[HEAP_BASE, HEAP_BASE + footprint)`.
     /// `seed` drives all randomness deterministically.
     pub fn build(self, pid: Pid, footprint_pages: u64, seed: u64) -> Box<dyn AccessStream> {
-        assert!(footprint_pages >= 256, "footprint too small to be meaningful");
+        assert!(
+            footprint_pages >= 256,
+            "footprint too small to be meaningful"
+        );
         match self {
             WorkloadKind::Kmeans => compute::kmeans_omp(pid, footprint_pages, seed),
             WorkloadKind::Quicksort => compute::quicksort(pid, footprint_pages, seed),
@@ -297,11 +300,15 @@ mod tests {
     fn seeds_change_randomized_workloads() {
         let a: Vec<_> = {
             let mut s = WorkloadKind::GraphBfs.build(Pid::new(1), 1_024, 1);
-            std::iter::from_fn(|| s.next_access()).map(|a| a.vpn).collect()
+            std::iter::from_fn(|| s.next_access())
+                .map(|a| a.vpn)
+                .collect()
         };
         let b: Vec<_> = {
             let mut s = WorkloadKind::GraphBfs.build(Pid::new(1), 1_024, 2);
-            std::iter::from_fn(|| s.next_access()).map(|a| a.vpn).collect()
+            std::iter::from_fn(|| s.next_access())
+                .map(|a| a.vpn)
+                .collect()
         };
         assert_ne!(a, b);
     }
@@ -325,7 +332,10 @@ mod tests {
 
     #[test]
     fn groups_partition_the_catalogue() {
-        assert_eq!(WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len() + 1, 15);
+        assert_eq!(
+            WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len() + 1,
+            15
+        );
         for k in WorkloadKind::SPARK {
             assert!(k.is_jvm());
         }
@@ -336,7 +346,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn tiny_footprints_are_rejected()  {
+    fn tiny_footprints_are_rejected() {
         let _ = WorkloadKind::Kmeans.build(Pid::new(1), 8, 0);
     }
 

@@ -10,10 +10,8 @@
 //! GC-like scattered touches of *older* regions.
 
 use hopp_trace::patterns::{AccessStream, Chain, Interleaver, NoiseStream, SimpleStream};
+use hopp_types::rng::SplitMix64;
 use hopp_types::Pid;
-use rand::seq::SliceRandom;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::HEAP_BASE;
 
@@ -41,9 +39,7 @@ fn staged(
             // Partitions are not scanned in address order: shuffle them
             // so pieces don't merge into one long stream.
             let mut order: Vec<u64> = (0..streams_per_stage).collect();
-            order.shuffle(&mut SmallRng::seed_from_u64(
-                seed.wrapping_add(st * 31 + pass * 7),
-            ));
+            SplitMix64::seed_from_u64(seed.wrapping_add(st * 31 + pass * 7)).shuffle(&mut order);
             let pieces: Vec<Box<dyn AccessStream>> = order
                 .into_iter()
                 .map(|p| {
@@ -64,7 +60,7 @@ fn staged(
         if st > 0 {
             let prev = base - region;
             let mut order: Vec<u64> = (0..streams_per_stage).collect();
-            order.shuffle(&mut SmallRng::seed_from_u64(seed.wrapping_add(st * 131)));
+            SplitMix64::seed_from_u64(seed.wrapping_add(st * 131)).shuffle(&mut order);
             let inputs: Vec<Box<dyn AccessStream>> = order
                 .into_iter()
                 .map(|p| {

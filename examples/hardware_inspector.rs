@@ -29,15 +29,21 @@ fn main() {
     for page in 0..256u64 {
         for line in 0..24u8 {
             t += 100;
-            if let Some(hot) =
-                mc.on_llc_miss(Ppn::new(page).line(line), AccessKind::Read, Nanos::from_nanos(t))
-            {
+            if let Some(hot) = mc.on_llc_miss(
+                Ppn::new(page).line(line),
+                AccessKind::Read,
+                Nanos::from_nanos(t),
+            ) {
                 hot_pages.push(hot);
             }
         }
     }
 
-    println!("fed {} read misses, extracted {} hot pages", 256 * 24, hot_pages.len());
+    println!(
+        "fed {} read misses, extracted {} hot pages",
+        256 * 24,
+        hot_pages.len()
+    );
     println!("first hot pages:");
     for hot in hot_pages.iter().take(4) {
         println!("  {hot}");

@@ -106,9 +106,11 @@ fn study(kind: WorkloadKind) {
     }
 
     let s = tiers.stats();
-    let total =
-        (s.for_tier(Tier::Simple) + s.for_tier(Tier::Ladder) + s.for_tier(Tier::Ripple) + s.unclassified)
-            .max(1) as f64;
+    let total = (s.for_tier(Tier::Simple)
+        + s.for_tier(Tier::Ladder)
+        + s.for_tier(Tier::Ripple)
+        + s.unclassified)
+        .max(1) as f64;
     println!(
         "{:<13} {:>8} {:>8} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
         kind.name(),

@@ -14,7 +14,11 @@ fn main() {
     let seed = 42;
     let ratio = 0.5; // half the working set fits locally
 
-    println!("workload: {} ({footprint} pages, {:.0}% local)", kind.name(), ratio * 100.0);
+    println!(
+        "workload: {} ({footprint} pages, {:.0}% local)",
+        kind.name(),
+        ratio * 100.0
+    );
 
     let local = run_local(kind, footprint, seed);
     println!("\nall-local completion: {}", local.completion);

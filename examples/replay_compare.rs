@@ -45,11 +45,27 @@ fn main() -> std::io::Result<()> {
         "system", "completion", "norm-perf", "major", "p-hits", "coverage"
     );
     for (label, system, full_memory) in [
-        ("local", SystemConfig::Baseline(BaselineKind::NoPrefetch), true),
-        ("no-prefetch", SystemConfig::Baseline(BaselineKind::NoPrefetch), false),
+        (
+            "local",
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            true,
+        ),
+        (
+            "no-prefetch",
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            false,
+        ),
         ("leap", SystemConfig::Baseline(BaselineKind::Leap), false),
-        ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap), false),
-        ("depth-32", SystemConfig::Baseline(BaselineKind::DepthN(32)), false),
+        (
+            "fastswap",
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            false,
+        ),
+        (
+            "depth-32",
+            SystemConfig::Baseline(BaselineKind::DepthN(32)),
+            false,
+        ),
         ("hopp", SystemConfig::hopp_default(), false),
     ] {
         let app = AppSpec {

@@ -21,6 +21,7 @@
 //! | [`core`] | `hopp-core` | STT, SSP/LSP/RSP, policy + execution engines |
 //! | [`baselines`] | `hopp-baselines` | Fastswap, Leap, VMA, Depth-N |
 //! | [`workloads`] | `hopp-workloads` | the paper's 15 application models |
+//! | [`obs`] | `hopp-obs` | event tracing, histograms, trace export |
 //! | [`sim`] | `hopp-sim` | the integrated simulator and runners |
 //!
 //! # Quick start
@@ -49,6 +50,7 @@ pub use hopp_hw as hw;
 pub use hopp_kernel as kernel;
 pub use hopp_mem as mem;
 pub use hopp_net as net;
+pub use hopp_obs as obs;
 pub use hopp_sim as sim;
 pub use hopp_trace as trace;
 pub use hopp_types as types;

@@ -73,7 +73,8 @@ fn fig9_hopp_never_loses_to_fastswap() {
 fn fig12_spark_group_runs_and_hopp_leads() {
     let recs = ex::fig12_matrix(&tiny());
     assert_eq!(recs.len(), WorkloadKind::SPARK.len());
-    let avg_fs: f64 = recs.iter().map(|r| r.normalized(&r.fastswap)).sum::<f64>() / recs.len() as f64;
+    let avg_fs: f64 =
+        recs.iter().map(|r| r.normalized(&r.fastswap)).sum::<f64>() / recs.len() as f64;
     let avg_hp: f64 = recs.iter().map(|r| r.normalized(&r.hopp)).sum::<f64>() / recs.len() as f64;
     assert!(avg_hp > avg_fs, "hopp {avg_hp:.3} vs fastswap {avg_fs:.3}");
 }
@@ -92,7 +93,11 @@ fn fig16_17_depth_n_pays_in_remote_traffic() {
     let rows = ex::fig16_17(&tiny());
     for row in &rows {
         for (name, np, remote) in &row.systems {
-            assert!(*np > 0.0 && *np <= 1.05, "{} {name}: np {np}", row.workload.name());
+            assert!(
+                *np > 0.0 && *np <= 1.05,
+                "{} {name}: np {np}",
+                row.workload.name()
+            );
             assert!(*remote > 0.0, "{} {name}", row.workload.name());
         }
     }
@@ -101,7 +106,11 @@ fn fig16_17_depth_n_pays_in_remote_traffic() {
         .iter()
         .find(|r| r.workload == WorkloadKind::NpbFt)
         .expect("FT present");
-    let d32 = ft.systems.iter().find(|(n, _, _)| *n == "Depth-32").unwrap();
+    let d32 = ft
+        .systems
+        .iter()
+        .find(|(n, _, _)| *n == "Depth-32")
+        .unwrap();
     let hopp = ft.systems.iter().find(|(n, _, _)| *n == "HoPP").unwrap();
     assert!(
         d32.2 > hopp.2,
@@ -135,7 +144,10 @@ fn fig18_20_tiers_never_hurt_much_and_stay_accurate() {
 #[test]
 fn fig21_points_are_well_formed() {
     let points = ex::fig21(&tiny());
-    assert_eq!(points.len(), 2 * (WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len()));
+    assert_eq!(
+        points.len(),
+        2 * (WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len())
+    );
     for p in points {
         assert!((0.0..=1.0).contains(&p.accuracy));
         assert!((0.0..=1.0).contains(&p.coverage));
@@ -147,7 +159,10 @@ fn fig21_points_are_well_formed() {
 fn fig22_orderings_hold() {
     let rows = ex::fig22(&tiny());
     let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
-    assert!(get("Leap") < 0.0, "Leap loses to Fastswap under concurrency");
+    assert!(
+        get("Leap") < 0.0,
+        "Leap loses to Fastswap under concurrency"
+    );
     assert!(get("HoPP (dynamic)") > get("VMA"));
     assert!(get("HoPP (dynamic)") > get("Leap"));
     // Under volatility the controller beats the pinned offset.

@@ -88,7 +88,10 @@ fn swap_device_surfaces_exhaustion_as_an_error() {
     let mut dev = SwapDevice::with_capacity(1);
     dev.alloc(Pid::new(1), Vpn::new(1)).unwrap();
     let err = dev.alloc(Pid::new(1), Vpn::new(2)).unwrap_err();
-    assert!(matches!(err, Error::RemoteMemoryExhausted { capacity_pages: 1 }));
+    assert!(matches!(
+        err,
+        Error::RemoteMemoryExhausted { capacity_pages: 1 }
+    ));
     assert_eq!(err.to_string(), "remote memory node full (1 pages)");
 }
 
@@ -135,8 +138,7 @@ fn unresolvable_hot_pages_never_reach_software() {
 
 #[test]
 fn workload_rejects_meaningless_footprints() {
-    let result = std::panic::catch_unwind(|| {
-        hopp::workloads::WorkloadKind::Hpl.build(Pid::new(1), 16, 0)
-    });
+    let result =
+        std::panic::catch_unwind(|| hopp::workloads::WorkloadKind::Hpl.build(Pid::new(1), 16, 0));
     assert!(result.is_err(), "tiny footprints are a configuration bug");
 }

@@ -1,0 +1,297 @@
+//! End-to-end observability guarantees: determinism of the exported
+//! traces, structural validity of the Chrome trace, and the promise
+//! that turning observability off (or on) never changes the simulation.
+
+use hopp::obs::{events_to_chrome_trace, events_to_jsonl, ObsLevel};
+use hopp::sim::{run_workload_with, SimConfig, SimReport, SystemConfig};
+use hopp::workloads::WorkloadKind;
+
+fn run_at(level: ObsLevel) -> SimReport {
+    let config = SimConfig {
+        obs_level: level,
+        ..SimConfig::with_system(SystemConfig::hopp_default())
+    };
+    run_workload_with(config, WorkloadKind::Kmeans, 1_024, 42, 0.5)
+}
+
+#[test]
+fn same_seed_full_runs_export_byte_identical_jsonl() {
+    let a = run_at(ObsLevel::Full);
+    let b = run_at(ObsLevel::Full);
+    assert!(!a.obs.events.is_empty(), "a full run records events");
+    let ja = events_to_jsonl(&a.obs.events);
+    let jb = events_to_jsonl(&b.obs.events);
+    assert_eq!(ja, jb, "same seed + config must trace identically");
+    // Every line is a self-contained object with the common keys.
+    for line in ja.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"ts\":"));
+        assert!(line.contains("\"component\":"));
+        assert!(line.contains("\"event\":"));
+    }
+}
+
+#[test]
+fn obs_level_leaves_the_simulation_bit_identical() {
+    let off = run_at(ObsLevel::Off);
+    let counters = run_at(ObsLevel::Counters);
+    let full = run_at(ObsLevel::Full);
+    for r in [&counters, &full] {
+        assert_eq!(off.counters, r.counters);
+        assert_eq!(off.completion, r.completion);
+        assert_eq!(off.rdma, r.rdma);
+        assert_eq!(off.hpd, r.hpd);
+    }
+    // And the off path really collects nothing.
+    assert_eq!(off.obs.latency.major_fault.count, 0);
+    assert!(off.obs.events.is_empty());
+    assert!(full.obs.latency.timeliness.count > 0);
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotonic_ts_per_track() {
+    let r = run_at(ObsLevel::Full);
+    let trace = events_to_chrome_trace(&r.obs.events);
+    let value = json::parse(&trace).expect("trace parses as JSON");
+    let json::Value::Object(top) = &value else {
+        panic!("top level is an object")
+    };
+    assert_eq!(
+        top.iter()
+            .find(|(k, _)| k == "displayTimeUnit")
+            .map(|(_, v)| v),
+        Some(&json::Value::String("ns".into()))
+    );
+    let Some((_, json::Value::Array(events))) = top.iter().find(|(k, _)| k == "traceEvents") else {
+        panic!("traceEvents is an array")
+    };
+    assert!(!events.is_empty());
+    let mut last_ts: std::collections::HashMap<(i64, i64), f64> = std::collections::HashMap::new();
+    for e in events {
+        let json::Value::Object(fields) = e else {
+            panic!("every trace event is an object")
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ph = match get("ph") {
+            Some(json::Value::String(s)) => s.clone(),
+            other => panic!("ph is a string, got {other:?}"),
+        };
+        if ph == "M" {
+            continue; // thread-name metadata carries no ts
+        }
+        let (Some(json::Value::Number(pid)), Some(json::Value::Number(tid))) =
+            (get("pid"), get("tid"))
+        else {
+            panic!("pid/tid are numbers")
+        };
+        let Some(json::Value::Number(ts)) = get("ts") else {
+            panic!("ts is a number")
+        };
+        let track = (*pid as i64, *tid as i64);
+        if let Some(prev) = last_ts.get(&track) {
+            assert!(
+                ts >= prev,
+                "ts went backwards on track {track:?}: {prev} -> {ts}"
+            );
+        }
+        last_ts.insert(track, *ts);
+        if ph == "X" {
+            assert!(
+                matches!(get("dur"), Some(json::Value::Number(d)) if *d >= 0.0),
+                "complete slices carry a non-negative dur"
+            );
+        }
+    }
+    assert!(last_ts.len() > 1, "more than one component track is live");
+}
+
+/// A dependency-free JSON parser, just enough to validate exporter
+/// output (numbers, strings without escapes, bools, arrays, objects).
+mod json {
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl From<&str> for Value {
+        fn from(s: &str) -> Value {
+            Value::String(s.to_string())
+        }
+    }
+
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::String(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {pos}"))
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != b'"' {
+            if b[*pos] == b'\\' {
+                return Err(format!("escape at {pos} (exporter never escapes)"));
+            }
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        expect(b, pos, b'"')?;
+        Ok(s)
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at {pos}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            members.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(format!("expected , or }} at {pos}")),
+            }
+        }
+    }
+
+    #[test]
+    fn mini_parser_handles_the_shapes_the_exporter_emits() {
+        let v = parse("{\"a\":[1, 2.5], \"b\":\"x\", \"c\":true}").unwrap();
+        let Value::Object(o) = v else { panic!() };
+        assert_eq!(
+            o[0].1,
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.5)])
+        );
+        assert_eq!(o[1].1, Value::String("x".into()));
+        assert_eq!(o[2].1, Value::Bool(true));
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2] junk").is_err());
+    }
+}
+
+#[test]
+fn metrics_json_parses_and_carries_percentiles() {
+    let r = run_at(ObsLevel::Counters);
+    let m = json::parse(&r.metrics_json()).expect("metrics JSON parses");
+    let json::Value::Object(top) = &m else {
+        panic!("object")
+    };
+    let get = |k: &str| top.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    assert!(matches!(get("system"), Some(json::Value::String(_))));
+    assert!(matches!(get("counters"), Some(json::Value::Object(_))));
+    let Some(json::Value::Object(latency)) = get("latency") else {
+        panic!("latency object")
+    };
+    for key in [
+        "major_fault",
+        "prefetch_timeliness",
+        "inflight_wait",
+        "rdma_read",
+        "rdma_write",
+    ] {
+        let Some((_, json::Value::Object(h))) = latency.iter().find(|(n, _)| n == key) else {
+            panic!("latency.{key} present")
+        };
+        for field in ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(
+                h.iter().any(|(n, _)| n == field),
+                "latency.{key}.{field} present"
+            );
+        }
+    }
+}

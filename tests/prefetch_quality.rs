@@ -16,7 +16,12 @@ fn every_workload_runs_under_every_system() {
             SystemConfig::hopp_default(),
         ] {
             let r = run_workload(kind, FP, SEED, system, 0.5);
-            assert!(r.counters.accesses > 0, "{} under {}", kind.name(), r.system);
+            assert!(
+                r.counters.accesses > 0,
+                "{} under {}",
+                kind.name(),
+                r.system
+            );
             assert!(
                 r.completion > hopp::types::Nanos::ZERO,
                 "{} under {}",
