@@ -26,7 +26,7 @@ fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     }
 }
 
-const ALL: [&str; 28] = [
+const ALL: [&str; 30] = [
     "table2",
     "table3",
     "table5",
@@ -55,6 +55,8 @@ const ALL: [&str; 28] = [
     "warmup",
     "leapwin",
     "latency",
+    "fabric",
+    "faults",
 ];
 
 fn main() {
@@ -135,6 +137,8 @@ fn run(name: &str, scale: &Scale) {
         "warmup" => warmup(scale),
         "leapwin" => leapwin(scale),
         "latency" => latency(scale),
+        "fabric" => fabric(scale),
+        "faults" => faults(scale),
         "hwcost" => hwcost(),
         other => eprintln!("unknown experiment: {other}"),
     }
@@ -738,6 +742,68 @@ fn latency(scale: &Scale) {
         print!("{}", hopp_bench::format::latency_table(&summaries));
         println!();
     }
+}
+
+fn fabric(scale: &Scale) {
+    println!("\n## hopp-fabric — node-count sweep (kmeans, HoPP intensity 4, 25% local)\n");
+    let rows: Vec<Vec<String>> = ex::fabric_sweep(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                r.placement.to_string(),
+                frac(r.normalized),
+                format!("{}", r.major_p99),
+                format!("{}", r.queueing),
+                r.reads.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &[
+                "nodes",
+                "placement",
+                "norm perf",
+                "major p99",
+                "queueing",
+                "reads"
+            ],
+            &rows
+        )
+    );
+}
+
+fn faults(scale: &Scale) {
+    println!("\n## hopp-fabric — fault injection (kmeans, 4 nodes, replication 2, 50% local)\n");
+    let rows: Vec<Vec<String>> = ex::fault_study(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.system.to_string(),
+                frac(r.normalized),
+                format!("{}", r.major_p99),
+                r.failovers.to_string(),
+                r.retries.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &[
+                "scenario",
+                "system",
+                "norm perf",
+                "major p99",
+                "failovers",
+                "retries"
+            ],
+            &rows
+        )
+    );
 }
 
 fn hwcost() {

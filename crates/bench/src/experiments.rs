@@ -4,8 +4,8 @@ use hopp_core::three_tier::TierConfig;
 use hopp_core::{HoppConfig, PolicyConfig};
 use hopp_hw::{HpdConfig, HwCostModel, RptCacheConfig};
 use hopp_sim::{
-    run_local, run_workload, run_workload_with, AppSpec, BaselineKind, SimConfig, SimReport,
-    Simulator, SystemConfig,
+    run_local, run_workload, run_workload_with, run_workload_with_faults, AppSpec, BaselineKind,
+    FabricConfig, FaultScript, PlacementKind, SimConfig, SimReport, Simulator, SystemConfig,
 };
 use hopp_types::{Nanos, Pid};
 use hopp_workloads::WorkloadKind;
@@ -913,6 +913,139 @@ pub fn latency_study(scale: &Scale) -> Vec<(&'static str, hopp_obs::LatencySumma
     .collect()
 }
 
+/// One row of the `hopp-fabric` node-count sweep.
+#[derive(Clone, Debug)]
+pub struct FabricRow {
+    /// Memory nodes in the pool.
+    pub nodes: usize,
+    /// Placement policy name.
+    pub placement: &'static str,
+    /// Normalized performance (`CT_local / CT_system`).
+    pub normalized: f64,
+    /// Major-fault p99 latency.
+    pub major_p99: Nanos,
+    /// Total time remote reads spent queued behind a busy link.
+    pub queueing: Nanos,
+    /// Remote reads issued.
+    pub reads: u64,
+}
+
+/// `hopp-fabric`: HoPP's normalized performance and link queueing as
+/// the remote pool widens from the paper's single server to 8 nodes,
+/// under each placement policy. Prefetch intensity 4 makes the data
+/// path burst hard enough to queue on one link; wider pools spread the
+/// bursts over parallel links, so queueing falls as nodes grow.
+pub fn fabric_sweep(scale: &Scale) -> Vec<FabricRow> {
+    let kind = WorkloadKind::Kmeans;
+    let fp = scale.footprint_of(kind);
+    let local = run_local(kind, fp, scale.seed).completion;
+    let system = SystemConfig::hopp_with(HoppConfig {
+        policy: PolicyConfig {
+            intensity: 4,
+            ..PolicyConfig::default()
+        },
+        ..HoppConfig::default()
+    });
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        for placement in [
+            PlacementKind::StaticHash,
+            PlacementKind::RoundRobin,
+            PlacementKind::StreamAware,
+        ] {
+            // A 1-node pool places everything on node 0 regardless.
+            if nodes == 1 && placement != PlacementKind::StaticHash {
+                continue;
+            }
+            let config = SimConfig {
+                fabric: FabricConfig {
+                    nodes,
+                    placement,
+                    ..FabricConfig::default()
+                },
+                ..SimConfig::with_system(system)
+            };
+            let r = run_workload_with(config, kind, fp, scale.seed, 0.25);
+            rows.push(FabricRow {
+                nodes,
+                placement: placement.name(),
+                normalized: local.as_nanos() as f64 / r.completion.as_nanos() as f64,
+                major_p99: Nanos::from_nanos(r.obs.latency.major_fault.p99),
+                queueing: r.rdma.queueing,
+                reads: r.rdma.reads,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the fault-injection study.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// System under test.
+    pub system: &'static str,
+    /// Fault scenario name.
+    pub scenario: &'static str,
+    /// Normalized performance (`CT_local / CT_system`).
+    pub normalized: f64,
+    /// Major-fault p99 latency.
+    pub major_p99: Nanos,
+    /// Reads served by a replica after the primary failed.
+    pub failovers: u64,
+    /// Transient-failure retries paid.
+    pub retries: u64,
+}
+
+/// `hopp-fabric`: Fastswap vs HoPP on a 4-node, replication-2 pool
+/// under scripted degradation — healthy, one node 4x slow, one node
+/// lost outright. HoPP keeps its major-fault tail lower than Fastswap
+/// because prefetched pages dodge the synchronous read that eats the
+/// slow-down or failover penalty.
+pub fn fault_study(scale: &Scale) -> Vec<FaultRow> {
+    let kind = WorkloadKind::Kmeans;
+    let fp = scale.footprint_of(kind);
+    let local = run_local(kind, fp, scale.seed).completion;
+    let scenarios: [(&'static str, Option<&str>); 3] = [
+        ("healthy", None),
+        ("node0 4x slow", Some("2:0:slow:4")),
+        ("node1 lost", Some("5:1:down")),
+    ];
+    let systems = [
+        ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap)),
+        ("hopp", SystemConfig::hopp_default()),
+    ];
+    let mut rows = Vec::new();
+    for (scenario, script) in scenarios {
+        for (name, system) in systems {
+            let config = SimConfig {
+                fabric: FabricConfig {
+                    nodes: 4,
+                    replication: 2,
+                    ..FabricConfig::default()
+                },
+                ..SimConfig::with_system(system)
+            };
+            let r = match script {
+                Some(s) => {
+                    let script = FaultScript::parse(s).expect("static script parses");
+                    run_workload_with_faults(config, kind, fp, scale.seed, 0.5, &script)
+                }
+                None => run_workload_with(config, kind, fp, scale.seed, 0.5),
+            };
+            let fabric = r.fabric.as_ref().expect("4-node pool reports");
+            rows.push(FaultRow {
+                system: name,
+                scenario,
+                normalized: local.as_nanos() as f64 / r.completion.as_nanos() as f64,
+                major_p99: Nanos::from_nanos(r.obs.latency.major_fault.p99),
+                failovers: fabric.failovers,
+                retries: fabric.nodes.iter().map(|n| n.retries).sum(),
+            });
+        }
+    }
+    rows
+}
+
 /// §VI-F: the CACTI-derived area and static-power estimates.
 pub fn hwcost() -> [(String, f64, f64); 2] {
     let model = HwCostModel::default();
@@ -982,6 +1115,34 @@ mod tests {
         let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
         assert!(get("HoPP (dynamic)") >= get("HoPP (offset=20K)"));
         assert!(get("HoPP (dynamic)") > get("Leap"));
+    }
+
+    #[test]
+    fn fabric_sweep_spreads_queueing_over_nodes() {
+        let rows = fabric_sweep(&tiny());
+        let q = |nodes: usize| {
+            rows.iter()
+                .find(|r| r.nodes == nodes && r.placement == "hash")
+                .unwrap()
+                .queueing
+        };
+        assert!(q(8) <= q(1), "8 hashed links never queue more than 1");
+    }
+
+    #[test]
+    fn fault_study_degradation_hurts_and_failover_fires() {
+        let rows = fault_study(&tiny());
+        assert_eq!(rows.len(), 6);
+        let get = |sys: &str, sc: &str| {
+            rows.iter()
+                .find(|r| r.system == sys && r.scenario == sc)
+                .unwrap()
+        };
+        // Node loss completes via failover, not a panic.
+        assert!(get("fastswap", "node1 lost").normalized > 0.0);
+        assert!(get("hopp", "node1 lost").normalized > 0.0);
+        // A slow node can only lengthen the fault tail.
+        assert!(get("fastswap", "node0 4x slow").major_p99 >= get("fastswap", "healthy").major_p99);
     }
 
     #[test]

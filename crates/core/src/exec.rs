@@ -13,7 +13,8 @@
 
 use std::collections::HashMap;
 
-use hopp_net::{CompletionQueue, RdmaEngine};
+use hopp_fabric::RemotePool;
+use hopp_net::CompletionQueue;
 use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{Nanos, Pid, Vpn};
 
@@ -79,9 +80,9 @@ impl ExecutionEngine {
         stream: StreamId,
         tier: Tier,
         now: Nanos,
-        link: &mut RdmaEngine,
+        pool: &mut dyn RemotePool,
     ) -> Option<Nanos> {
-        self.request_span(pid, vpn, 1, stream, tier, now, link)
+        self.request_span(pid, vpn, 1, stream, tier, now, pool)
     }
 
     /// Issues one RDMA read covering `span` consecutive pages (the §IV
@@ -96,9 +97,9 @@ impl ExecutionEngine {
         stream: StreamId,
         tier: Tier,
         now: Nanos,
-        link: &mut RdmaEngine,
+        pool: &mut dyn RemotePool,
     ) -> Option<Nanos> {
-        self.request_span_rec(pid, vpn, span, stream, tier, now, link, &mut NopRecorder)
+        self.request_span_rec(pid, vpn, span, stream, tier, now, pool, &mut NopRecorder)
     }
 
     /// [`ExecutionEngine::request_span`], recording the RDMA read and an
@@ -113,7 +114,7 @@ impl ExecutionEngine {
         stream: StreamId,
         tier: Tier,
         now: Nanos,
-        link: &mut RdmaEngine,
+        pool: &mut dyn RemotePool,
         rec: &mut dyn Recorder,
     ) -> Option<Nanos> {
         debug_assert!(span >= 1);
@@ -121,7 +122,7 @@ impl ExecutionEngine {
             self.stats.duplicate_inflight += 1;
             return None;
         }
-        let done = link.issue_read_rec(now, span as usize * hopp_types::PAGE_SIZE, rec);
+        let done = pool.read_span(pid, vpn, span, now, rec);
         self.inflight.insert((pid, vpn), (stream, tier, now, span));
         self.cq.push(done, (pid, vpn));
         self.stats.issued += 1;
@@ -185,7 +186,7 @@ impl ExecutionEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopp_net::RdmaConfig;
+    use hopp_net::{RdmaConfig, RdmaEngine};
 
     fn stream_id() -> StreamId {
         let mut stt = crate::stt::StreamTrainingTable::new(crate::stt::SttConfig {

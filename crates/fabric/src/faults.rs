@@ -1,0 +1,321 @@
+//! Deterministic fault injection for the memory pool.
+//!
+//! Real disaggregated racks degrade in three characteristic ways: a
+//! node's CPU or NIC saturates and every op it serves slows down, a
+//! node drops ops transiently (congestion, firmware hiccups), or a
+//! node disappears outright. A [`FaultScript`] schedules any mix of
+//! the three at exact simulated instants, so a degradation experiment
+//! is as reproducible as a fault-free run — the same script plus the
+//! same seed always yields byte-identical metrics.
+//!
+//! # Script format
+//!
+//! A script is a comma-separated list of entries, each anchored at a
+//! simulated millisecond:
+//!
+//! ```text
+//! <ms>:<node>:down                    permanent node loss
+//! <ms>:<node>:slow:<factor>[:<dur_ms>]  latency x<factor> (forever, or for dur)
+//! <ms>:<node>:fail:<dur_ms>           ops fail transiently for dur
+//! ```
+//!
+//! Example: `2:1:slow:4:3,10:0:down` — node 1 runs 4x slow from 2 ms
+//! to 5 ms, node 0 dies at 10 ms.
+
+use hopp_types::{Error, Nanos, NodeId, Result};
+
+/// Timeout and bounded-exponential-backoff parameters for remote ops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// How long a requester waits on an unresponsive node before
+    /// declaring the attempt failed.
+    pub timeout: Nanos,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Nanos,
+    /// Cap on a single backoff interval.
+    pub max_backoff: Nanos,
+    /// Retries against one node before failing over to a replica.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Nanos::from_micros(100),
+            backoff: Nanos::from_micros(50),
+            max_backoff: Nanos::from_micros(800),
+            max_retries: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff paid before retry `attempt` (1-based):
+    /// `backoff * 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_after(&self, attempt: u32) -> Nanos {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.backoff
+            .scale((1u64 << shift) as f64)
+            .min(self.max_backoff)
+    }
+}
+
+/// What goes wrong with a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Every op served by the node takes `factor_pct`/100 times its
+    /// normal latency (node-side processing slowness; the wire still
+    /// drains at full rate).
+    Slow {
+        /// Latency multiplier in percent (400 = 4x).
+        factor_pct: u32,
+    },
+    /// Ops fail transiently; requesters retry with backoff.
+    Fail,
+    /// The node is gone; requesters time out once, then fail over.
+    Down,
+}
+
+/// One scripted fault: a [`FaultKind`] hitting one node over a window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: Nanos,
+    /// The afflicted node.
+    pub node: NodeId,
+    /// What happens.
+    pub kind: FaultKind,
+    /// When it ends (`None` = never; always `None` for `Down`).
+    pub until: Option<Nanos>,
+}
+
+impl FaultEvent {
+    /// Whether this fault is in effect at `now`.
+    pub fn active_at(&self, now: Nanos) -> bool {
+        now >= self.at && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// A deterministic schedule of [`FaultEvent`]s.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultScript {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty script (fault-free run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled faults.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one fault.
+    pub fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+    }
+
+    /// Parses the comma-separated script format (see module docs).
+    pub fn parse(s: &str) -> Result<FaultScript> {
+        let bad = |constraint: &'static str| Error::InvalidConfig {
+            what: "fault-script",
+            constraint,
+        };
+        let mut script = FaultScript::new();
+        for entry in s.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            if parts.len() < 3 {
+                return Err(bad("each entry needs <ms>:<node>:<kind>"));
+            }
+            let ms: u64 = parts[0]
+                .parse()
+                .map_err(|_| bad("<ms> must be a non-negative integer"))?;
+            let node: u16 = parts[1]
+                .parse()
+                .map_err(|_| bad("<node> must be a node index"))?;
+            let at = Nanos::from_millis(ms);
+            let (kind, until) = match parts[2] {
+                "down" => {
+                    if parts.len() != 3 {
+                        return Err(bad("down takes no arguments"));
+                    }
+                    (FaultKind::Down, None)
+                }
+                "slow" => {
+                    if !(4..=5).contains(&parts.len()) {
+                        return Err(bad("slow needs <factor>[:<dur_ms>]"));
+                    }
+                    let factor: f64 = parts[3]
+                        .parse()
+                        .map_err(|_| bad("<factor> must be a number"))?;
+                    if !(factor >= 1.0 && factor.is_finite()) {
+                        return Err(bad("<factor> must be >= 1"));
+                    }
+                    let until = if parts.len() == 5 {
+                        let dur: u64 = parts[4]
+                            .parse()
+                            .map_err(|_| bad("<dur_ms> must be an integer"))?;
+                        Some(at + Nanos::from_millis(dur))
+                    } else {
+                        None
+                    };
+                    (
+                        FaultKind::Slow {
+                            factor_pct: (factor * 100.0).round() as u32,
+                        },
+                        until,
+                    )
+                }
+                "fail" => {
+                    if parts.len() != 4 {
+                        return Err(bad("fail needs <dur_ms>"));
+                    }
+                    let dur: u64 = parts[3]
+                        .parse()
+                        .map_err(|_| bad("<dur_ms> must be an integer"))?;
+                    (FaultKind::Fail, Some(at + Nanos::from_millis(dur)))
+                }
+                _ => return Err(bad("<kind> must be down, slow or fail")),
+            };
+            script.push(FaultEvent {
+                at,
+                node: NodeId::new(node),
+                kind,
+                until,
+            });
+        }
+        Ok(script)
+    }
+}
+
+/// One node's fault state, derived from the script at pool build time.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NodeHealth {
+    slow: Vec<FaultEvent>,
+    fail: Vec<FaultEvent>,
+    lost_at: Option<Nanos>,
+}
+
+impl NodeHealth {
+    /// Folds one scripted fault into this node's state.
+    pub fn apply(&mut self, ev: FaultEvent) {
+        match ev.kind {
+            FaultKind::Slow { .. } => self.slow.push(ev),
+            FaultKind::Fail => self.fail.push(ev),
+            FaultKind::Down => {
+                self.lost_at = Some(match self.lost_at {
+                    Some(t) => t.min(ev.at),
+                    None => ev.at,
+                });
+            }
+        }
+    }
+
+    /// Whether the node is permanently gone at `now`.
+    pub fn is_lost(&self, now: Nanos) -> bool {
+        self.lost_at.is_some_and(|t| now >= t)
+    }
+
+    /// Whether ops issued at `now` fail transiently.
+    pub fn failing(&self, now: Nanos) -> bool {
+        self.fail.iter().any(|f| f.active_at(now))
+    }
+
+    /// Latency multiplier in percent at `now` (100 = healthy). When
+    /// windows overlap the worst factor wins.
+    pub fn slow_factor_pct(&self, now: Nanos) -> u32 {
+        self.slow
+            .iter()
+            .filter(|f| f.active_at(now))
+            .map(|f| match f.kind {
+                FaultKind::Slow { factor_pct } => factor_pct,
+                _ => 100,
+            })
+            .max()
+            .unwrap_or(100)
+            .max(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let s = FaultScript::parse("2:1:slow:4:3,5:0:fail:1,10:2:down").unwrap();
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(
+            s.events()[0],
+            FaultEvent {
+                at: Nanos::from_millis(2),
+                node: NodeId::new(1),
+                kind: FaultKind::Slow { factor_pct: 400 },
+                until: Some(Nanos::from_millis(5)),
+            }
+        );
+        assert_eq!(s.events()[1].kind, FaultKind::Fail);
+        assert_eq!(s.events()[1].until, Some(Nanos::from_millis(6)));
+        assert_eq!(s.events()[2].kind, FaultKind::Down);
+        assert_eq!(s.events()[2].until, None);
+    }
+
+    #[test]
+    fn fractional_slow_factors_round_to_percent() {
+        let s = FaultScript::parse("0:0:slow:1.5").unwrap();
+        assert_eq!(s.events()[0].kind, FaultKind::Slow { factor_pct: 150 });
+        assert_eq!(s.events()[0].until, None);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "nonsense",
+            "1:0",
+            "1:0:explode",
+            "x:0:down",
+            "1:y:down",
+            "1:0:down:3",
+            "1:0:slow",
+            "1:0:slow:0.5",
+            "1:0:fail",
+        ] {
+            assert!(FaultScript::parse(bad).is_err(), "{bad} should not parse");
+        }
+        assert!(FaultScript::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn health_windows_activate_and_expire() {
+        let s = FaultScript::parse("2:0:slow:4:3,8:0:fail:2,20:0:down").unwrap();
+        let mut h = NodeHealth::default();
+        for &e in s.events() {
+            h.apply(e);
+        }
+        assert_eq!(h.slow_factor_pct(Nanos::from_millis(1)), 100);
+        assert_eq!(h.slow_factor_pct(Nanos::from_millis(3)), 400);
+        assert_eq!(h.slow_factor_pct(Nanos::from_millis(5)), 100);
+        assert!(!h.failing(Nanos::from_millis(7)));
+        assert!(h.failing(Nanos::from_millis(9)));
+        assert!(!h.failing(Nanos::from_millis(10)));
+        assert!(!h.is_lost(Nanos::from_millis(19)));
+        assert!(h.is_lost(Nanos::from_millis(20)));
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_after(1), Nanos::from_micros(50));
+        assert_eq!(p.backoff_after(2), Nanos::from_micros(100));
+        assert_eq!(p.backoff_after(3), Nanos::from_micros(200));
+        assert_eq!(p.backoff_after(10), p.max_backoff);
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use hopp_types::{Nanos, Pid, Ppn, SwapSlot, Vpn};
+use hopp_types::{Nanos, NodeId, Pid, Ppn, SwapSlot, Vpn};
 
 /// The pipeline component an event is attributed to. One Chrome-trace
 /// track ("thread") per component.
@@ -27,11 +27,13 @@ pub enum Component {
     Kernel,
     /// RDMA link to the remote memory node.
     Rdma,
+    /// Disaggregated memory pool: placement, retry, failover.
+    Fabric,
 }
 
 impl Component {
     /// All components, in track order.
-    pub const ALL: [Component; 7] = [
+    pub const ALL: [Component; 8] = [
         Component::Hpd,
         Component::Rpt,
         Component::Stt,
@@ -39,6 +41,7 @@ impl Component {
         Component::Prefetch,
         Component::Kernel,
         Component::Rdma,
+        Component::Fabric,
     ];
 
     /// Stable lowercase label, used as the track name.
@@ -51,6 +54,7 @@ impl Component {
             Component::Prefetch => "prefetch",
             Component::Kernel => "kernel",
             Component::Rdma => "rdma",
+            Component::Fabric => "fabric",
         }
     }
 
@@ -64,6 +68,7 @@ impl Component {
             Component::Prefetch => 5,
             Component::Kernel => 6,
             Component::Rdma => 7,
+            Component::Fabric => 8,
         }
     }
 }
@@ -271,6 +276,46 @@ pub enum Event {
         /// Issue→completion latency including queueing.
         latency: Nanos,
     },
+    /// The placement layer assigned a swapped-out page to a pool node.
+    PagePlaced {
+        /// Owning process.
+        pid: Pid,
+        /// Placed page.
+        vpn: Vpn,
+        /// Primary node it lives on.
+        node: NodeId,
+    },
+    /// A remote op on a node failed transiently and was retried after a
+    /// backoff delay.
+    RemoteRetry {
+        /// The node that failed the attempt.
+        node: NodeId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Timeout + backoff paid before the retry.
+        backoff: Nanos,
+    },
+    /// A remote op on a node timed out (unresponsive node).
+    RemoteTimeout {
+        /// The unresponsive node.
+        node: NodeId,
+        /// How long the requester waited before giving up.
+        waited: Nanos,
+    },
+    /// A node was observed dead for the first time.
+    NodeDown {
+        /// The lost node.
+        node: NodeId,
+    },
+    /// A read failed over from a dead/exhausted primary to a replica.
+    Failover {
+        /// Owning process.
+        pid: Pid,
+        /// The page being read.
+        vpn: Vpn,
+        /// The replica that served the read.
+        node: NodeId,
+    },
 }
 
 impl Event {
@@ -297,6 +342,11 @@ impl Event {
             | Event::Reclaim { .. }
             | Event::SwapOut { .. } => Component::Kernel,
             Event::RdmaRead { .. } | Event::RdmaWrite { .. } => Component::Rdma,
+            Event::PagePlaced { .. }
+            | Event::RemoteRetry { .. }
+            | Event::RemoteTimeout { .. }
+            | Event::NodeDown { .. }
+            | Event::Failover { .. } => Component::Fabric,
         }
     }
 
@@ -324,6 +374,11 @@ impl Event {
             Event::SwapOut { .. } => "swap_out",
             Event::RdmaRead { .. } => "rdma_read",
             Event::RdmaWrite { .. } => "rdma_write",
+            Event::PagePlaced { .. } => "page_placed",
+            Event::RemoteRetry { .. } => "remote_retry",
+            Event::RemoteTimeout { .. } => "remote_timeout",
+            Event::NodeDown { .. } => "node_down",
+            Event::Failover { .. } => "failover",
         }
     }
 
@@ -339,6 +394,8 @@ impl Event {
             | Event::RdmaWrite { latency, .. } => Some(*latency),
             Event::PrefetchHit { timeliness, .. } => Some(*timeliness),
             Event::InflightWait { wait, .. } => Some(*wait),
+            Event::RemoteRetry { backoff, .. } => Some(*backoff),
+            Event::RemoteTimeout { waited, .. } => Some(*waited),
             _ => None,
         }
     }
@@ -473,6 +530,47 @@ impl Event {
                     out,
                     ",\"bytes\":{bytes},\"latency_ns\":{}",
                     latency.as_nanos()
+                );
+            }
+            Event::PagePlaced { pid, vpn, node } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"node\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    node.raw()
+                );
+            }
+            Event::RemoteRetry {
+                node,
+                attempt,
+                backoff,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"attempt\":{attempt},\"backoff_ns\":{}",
+                    node.raw(),
+                    backoff.as_nanos()
+                );
+            }
+            Event::RemoteTimeout { node, waited } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"waited_ns\":{}",
+                    node.raw(),
+                    waited.as_nanos()
+                );
+            }
+            Event::NodeDown { node } => {
+                let _ = write!(out, ",\"node\":{}", node.raw());
+            }
+            Event::Failover { pid, vpn, node } => {
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"vpn\":{},\"node\":{}",
+                    pid.raw(),
+                    vpn.raw(),
+                    node.raw()
                 );
             }
         }

@@ -203,6 +203,40 @@ pub struct LatencySummaries {
     pub rdma_write: HistogramSummary,
 }
 
+/// Per-node read/write latency histograms for one memory-pool node.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NodeHistograms {
+    /// Read latency on this node's link (issue→completion, queueing,
+    /// retries and failover delays included).
+    pub read: Histogram,
+    /// Write (replication/writeback) latency on this node's link.
+    pub write: Histogram,
+}
+
+impl NodeHistograms {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copyable summary of both histograms.
+    pub fn summary(&self) -> NodeLatencySummary {
+        NodeLatencySummary {
+            read: self.read.summary(),
+            write: self.write.summary(),
+        }
+    }
+}
+
+/// `Copy` summary of one node's [`NodeHistograms`].
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct NodeLatencySummary {
+    /// Read latency.
+    pub read: HistogramSummary,
+    /// Write latency.
+    pub write: HistogramSummary,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

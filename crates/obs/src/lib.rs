@@ -49,7 +49,10 @@ pub mod recorder;
 
 pub use event::{Component, Event, TierKind, TimedEvent};
 pub use export::{events_to_chrome_trace, events_to_jsonl};
-pub use hist::{Histogram, HistogramSummary, LatencyHistograms, LatencySummaries};
+pub use hist::{
+    Histogram, HistogramSummary, LatencyHistograms, LatencySummaries, NodeHistograms,
+    NodeLatencySummary,
+};
 pub use recorder::{NopRecorder, ObsLevel, ObsRecorder, Recorder, TraceSink};
 
 use hopp_types::Nanos;

@@ -12,7 +12,10 @@
 use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
 use hopp_core::{HoppConfig, MarkovConfig, TrainerKind};
 use hopp_obs::{events_to_chrome_trace, ObsLevel};
-use hopp_sim::{run_local, run_workload_with, BaselineKind, SimConfig, SimReport, SystemConfig};
+use hopp_sim::{
+    run_local, run_workload_with, run_workload_with_faults, BaselineKind, FabricConfig,
+    FaultScript, PlacementKind, SimConfig, SimReport, SystemConfig,
+};
 use hopp_workloads::WorkloadKind;
 
 #[derive(Debug)]
@@ -30,6 +33,10 @@ struct Args {
     record: Option<String>,
     replay: Option<String>,
     volatile: bool,
+    mem_nodes: usize,
+    placement: PlacementKind,
+    replication: usize,
+    fault_script: Option<FaultScript>,
     imprecise_lru: bool,
     reclaim_window_ms: Option<u64>,
     remote_capacity: Option<usize>,
@@ -56,6 +63,10 @@ impl Default for Args {
             record: None,
             replay: None,
             volatile: false,
+            mem_nodes: 1,
+            placement: PlacementKind::default(),
+            replication: 1,
+            fault_script: None,
             imprecise_lru: false,
             reclaim_window_ms: None,
             remote_capacity: None,
@@ -107,6 +118,11 @@ fn usage() -> ! {
          \n  --record <file>      dump the workload's page trace and exit\
          \n  --replay <file>      run the simulation from a recorded trace\
          \n  --volatile           periodic 8x network congestion bursts\
+         \n  --jitter <mode>      bursty | off (same as --volatile, default off)\
+         \n  --mem-nodes <n>      memory nodes in the remote pool (default 1)\
+         \n  --placement <p>      hash | rr | stream page placement (default hash)\
+         \n  --replication <r>    replicas per page, 1..=nodes (default 1)\
+         \n  --fault-script <s>   scripted node faults, e.g. \"5:0:slow:4,20:1:down\"\
          \n  --imprecise-lru      fault-order LRU (no accessed-bit scans)\
          \n  --reclaim-window <ms> trace-assisted reclaim hot window\
          \n  --remote-capacity <pages> cap the remote memory node\
@@ -156,6 +172,37 @@ fn parse_args() -> Args {
             "--record" => args.record = Some(value("--record")),
             "--replay" => args.replay = Some(value("--replay")),
             "--volatile" => args.volatile = true,
+            "--jitter" => {
+                let v = value("--jitter");
+                args.volatile = match v.as_str() {
+                    "bursty" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("unknown jitter mode {v:?} (bursty | off)");
+                        usage();
+                    }
+                };
+            }
+            "--mem-nodes" => {
+                args.mem_nodes = value("--mem-nodes").parse().unwrap_or_else(|_| usage())
+            }
+            "--placement" => {
+                let v = value("--placement");
+                args.placement = PlacementKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown placement {v:?} (hash | rr | stream)");
+                    usage()
+                });
+            }
+            "--replication" => {
+                args.replication = value("--replication").parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-script" => {
+                let v = value("--fault-script");
+                args.fault_script = Some(FaultScript::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("bad fault script: {e}");
+                    usage()
+                }));
+            }
             "--imprecise-lru" => args.imprecise_lru = true,
             "--reclaim-window" => {
                 args.reclaim_window_ms = Some(
@@ -278,6 +325,28 @@ fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
         r.rdma.writes,
         r.rdma.bytes / (1024 * 1024)
     );
+    if let Some(f) = &r.fabric {
+        println!(
+            "memory pool       {} nodes, {} placement, replication {}, {} failovers, {} failed writes",
+            f.nodes.len(),
+            f.placement,
+            f.replication,
+            f.failovers,
+            f.failed_writes
+        );
+        for n in &f.nodes {
+            println!(
+                "  {}           {} reads, {} writes, {} placed, {} retries, {} timeouts{}",
+                n.node,
+                n.link.reads,
+                n.link.writes,
+                n.placed,
+                n.retries,
+                n.timeouts,
+                if n.lost { ", LOST" } else { "" }
+            );
+        }
+    }
     println!(
         "hardware          {} hot pages ({:.2}% of misses), RPT hit rate {:.1}%, HPD bw {:.3}%",
         r.hpd.hot_pages,
@@ -394,6 +463,12 @@ fn main() {
         } else {
             hopp_net::RdmaConfig::default()
         },
+        fabric: FabricConfig {
+            nodes: args.mem_nodes,
+            placement: args.placement,
+            replication: args.replication,
+            ..FabricConfig::default()
+        },
         precise_lru: !args.imprecise_lru,
         trace_assisted_reclaim: args.reclaim_window_ms.map(hopp_types::Nanos::from_millis),
         remote_capacity_pages: args.remote_capacity,
@@ -424,9 +499,15 @@ fn main() {
             stream: Box::new(hopp_trace::TraceFileStream::new(accesses)),
             limit_pages: limit,
         };
-        let report = hopp_sim::Simulator::new(config, vec![app])
-            .expect("valid replay configuration")
-            .run();
+        let mut sim =
+            hopp_sim::Simulator::new(config, vec![app]).expect("valid replay configuration");
+        if let Some(script) = &args.fault_script {
+            sim.set_fault_script(script).unwrap_or_else(|e| {
+                eprintln!("bad fault script: {e}");
+                std::process::exit(2);
+            });
+        }
+        let report = sim.run();
         // Normalized against an all-local replay of the same trace.
         let local_app = hopp_sim::AppSpec {
             pid,
@@ -449,7 +530,17 @@ fn main() {
     }
 
     let local = run_local(args.workload, args.footprint, args.seed);
-    let report = run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio);
+    let report = match &args.fault_script {
+        Some(script) => run_workload_with_faults(
+            config,
+            args.workload,
+            args.footprint,
+            args.seed,
+            args.ratio,
+            script,
+        ),
+        None => run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio),
+    };
     print_report(&args, local.completion.as_nanos() as f64, &report);
     write_outputs(&args, &report);
 }

@@ -3,6 +3,7 @@
 
 use hopp_baselines::{DepthN, FastswapReadahead, LeapPrefetcher, VmaReadahead};
 use hopp_core::HoppConfig;
+use hopp_fabric::FabricConfig;
 use hopp_hw::{HpdConfig, RptCacheConfig};
 use hopp_kernel::{FaultLatencyModel, NoPrefetch, Prefetcher};
 use hopp_net::RdmaConfig;
@@ -102,8 +103,13 @@ pub struct SimConfig {
     pub hpd: HpdConfig,
     /// RPT cache geometry.
     pub rpt: RptCacheConfig,
-    /// RDMA link parameters.
+    /// RDMA link parameters (per pool node).
     pub rdma: RdmaConfig,
+    /// Memory-pool geometry: node count, placement policy, replication
+    /// and retry behaviour. The default single-node pool reproduces the
+    /// paper's one-server testbed bit-for-bit; fault scripts attach via
+    /// [`Simulator::set_fault_script`](crate::Simulator::set_fault_script).
+    pub fabric: FabricConfig,
     /// Kernel fault-path latency constants.
     pub latency: FaultLatencyModel,
     /// The prefetching system under test.
@@ -160,6 +166,7 @@ impl Default for SimConfig {
             hpd: HpdConfig::default(),
             rpt: RptCacheConfig::default(),
             rdma: RdmaConfig::default(),
+            fabric: FabricConfig::default(),
             latency: FaultLatencyModel::default(),
             system: SystemConfig::Baseline(BaselineKind::Fastswap),
             slack_frames: 512,

@@ -14,7 +14,10 @@
 //! * HoPP's training/policy/execution engines (`hopp-core`) run on the
 //!   hot-page stream as a separate data path and inject PTEs on
 //!   completion;
-//! * all remote traffic shares one RDMA link (`hopp-net`).
+//! * all remote traffic flows through a remote-memory pool
+//!   (`hopp-fabric`): one RDMA link per node (`hopp-net`), sharded
+//!   placement, optional replication and scripted faults. The default
+//!   single-node pool is the paper's testbed, bit-for-bit.
 //!
 //! Simulated time advances with each access: compute (think time), LLC
 //! hits/misses, fault handling and synchronous network waits, per the
@@ -42,8 +45,10 @@ pub mod runner;
 pub mod simulator;
 
 pub use config::{AppSpec, BaselineKind, SimConfig, SystemConfig};
+pub use hopp_fabric::{FabricConfig, FabricReport, FaultScript, PlacementKind};
 pub use report::{AppReport, Counters, ObsReport, SimReport};
 pub use runner::{
-    normalized_performance, run_local, run_workload, run_workload_with, speedup_over,
+    normalized_performance, run_local, run_workload, run_workload_with, run_workload_with_faults,
+    speedup_over,
 };
 pub use simulator::Simulator;

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use hopp_core::metrics::MetricsReport;
 use hopp_core::three_tier::TierStats;
+use hopp_fabric::FabricReport;
 use hopp_hw::{BandwidthLedger, HpdStats, RptStats};
 use hopp_net::RdmaStats;
 use hopp_obs::{LatencySummaries, ObsLevel, TimedEvent};
@@ -101,8 +102,12 @@ pub struct SimReport {
     pub ledger: BandwidthLedger,
     /// LLC counters.
     pub llc: LlcStats,
-    /// RDMA link counters.
+    /// RDMA link counters (summed over pool nodes).
     pub rdma: RdmaStats,
+    /// Memory-pool detail: placement, failovers and per-node traffic.
+    /// `None` for the degenerate 1-node fault-free pool (the paper's
+    /// testbed), keeping legacy reports byte-identical.
+    pub fabric: Option<FabricReport>,
     /// Periodic counter samples (empty unless
     /// `SimConfig::timeline_every > 0`).
     pub timeline: Vec<TimelineSample>,
@@ -242,6 +247,38 @@ impl SimReport {
             self.rdma.bytes,
             self.rdma.queueing.as_nanos()
         );
+        if let Some(f) = &self.fabric {
+            let _ = write!(
+                o,
+                ",\"fabric\":{{\"placement\":\"{}\",\"replication\":{},\"failovers\":{},\
+                 \"failed_writes\":{},\"nodes\":[",
+                f.placement, f.replication, f.failovers, f.failed_writes
+            );
+            for (i, n) in f.nodes.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                let _ = write!(
+                    o,
+                    "{{\"node\":{},\"reads\":{},\"writes\":{},\"bytes\":{},\"queueing_ns\":{},\
+                     \"placed\":{},\"retries\":{},\"timeouts\":{},\"lost\":{},\"read_latency\":",
+                    n.node.raw(),
+                    n.link.reads,
+                    n.link.writes,
+                    n.link.bytes,
+                    n.link.queueing.as_nanos(),
+                    n.placed,
+                    n.retries,
+                    n.timeouts,
+                    n.lost
+                );
+                n.latency.read.write_json(&mut o);
+                o.push_str(",\"write_latency\":");
+                n.latency.write.write_json(&mut o);
+                o.push('}');
+            }
+            o.push_str("]}");
+        }
         let _ = write!(o, ",\"obs_level\":\"{}\"", self.obs.level.label());
         o.push_str(",\"latency\":{");
         for (i, (name, h)) in [
@@ -338,6 +375,7 @@ mod tests {
             ledger: BandwidthLedger::default(),
             llc: LlcStats::default(),
             rdma: RdmaStats::default(),
+            fabric: None,
             timeline: Vec::new(),
             obs: ObsReport::default(),
         }

@@ -4,6 +4,7 @@
 //! `CT_local` is the completion time with the whole working set in
 //! local memory; *speedup* (§VI-D) is `1 − CT_system / CT_Fastswap`.
 
+use hopp_fabric::FaultScript;
 use hopp_types::Pid;
 use hopp_workloads::WorkloadKind;
 
@@ -59,6 +60,35 @@ pub fn run_workload_with(
     Simulator::new(config, vec![app])
         .expect("valid experiment configuration")
         .run()
+}
+
+/// [`run_workload_with`] plus a deterministic [`FaultScript`] attached
+/// to the memory pool before the run starts: the same script against
+/// the same seed replays byte-identically.
+///
+/// # Panics
+///
+/// Panics on invalid configuration or a script naming a node outside
+/// the pool (experiment-code bugs).
+pub fn run_workload_with_faults(
+    config: SimConfig,
+    kind: WorkloadKind,
+    footprint_pages: u64,
+    seed: u64,
+    mem_ratio: f64,
+    script: &FaultScript,
+) -> SimReport {
+    assert!(mem_ratio > 0.0, "memory ratio must be positive");
+    let limit = ((footprint_pages as f64 * mem_ratio).ceil() as usize).max(64);
+    let app = AppSpec {
+        pid: SOLO_PID,
+        stream: kind.build(SOLO_PID, footprint_pages, seed),
+        limit_pages: limit,
+    };
+    let mut sim = Simulator::new(config, vec![app]).expect("valid experiment configuration");
+    sim.set_fault_script(script)
+        .expect("fault script fits the pool");
+    sim.run()
 }
 
 /// The all-local reference run (`CT_local`): limit ≥ footprint, no

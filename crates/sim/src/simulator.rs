@@ -7,11 +7,12 @@ use hopp_core::exec::ExecutionEngine;
 use hopp_core::metrics::PrefetchMetrics;
 use hopp_core::three_tier::Tier;
 use hopp_core::HoppEngine;
+use hopp_fabric::{FaultScript, MemoryPool, RemotePool, REGION_SHIFT};
 use hopp_hw::McPipeline;
 use hopp_kernel::swapcache::CacheFill;
 use hopp_kernel::{Cgroup, FaultInfo, LruLists, LruTier, Prefetcher, SwapCache, SwapDevice};
 use hopp_mem::{AddressSpace, FrameAllocator, Mapping};
-use hopp_net::{CompletionQueue, RdmaEngine};
+use hopp_net::CompletionQueue;
 use hopp_obs::{Event, LatencyHistograms, ObsRecorder, Recorder};
 use hopp_trace::patterns::AccessStream;
 use hopp_trace::LastLevelCache;
@@ -68,7 +69,13 @@ pub struct Simulator {
     cgroups: HashMap<Pid, Cgroup>,
     swapcache: SwapCache,
     swapdev: SwapDevice,
-    rdma: RdmaEngine,
+    /// The remote side: a single link in the paper's configuration, a
+    /// sharded multi-node pool beyond it.
+    pool: MemoryPool,
+    /// Per-region stream identity for stream-aware placement, harvested
+    /// from HoPP prefetch orders. Maintained only when the placement
+    /// policy asks for hints.
+    stream_hints: HashMap<(Pid, u64), u64>,
     baseline: Box<dyn Prefetcher>,
     /// Uncharged swapcache pages, reclaimed first under global
     /// pressure (the kernel's inactive file/anon behaviour).
@@ -164,7 +171,8 @@ impl Simulator {
                 Some(cap) => SwapDevice::with_capacity(cap),
                 None => SwapDevice::new(),
             },
-            rdma: RdmaEngine::new(config.rdma),
+            pool: MemoryPool::new(config.rdma, config.fabric)?,
+            stream_hints: HashMap::new(),
             baseline,
             sc_lru: LruLists::new(),
             base_metrics: PrefetchMetrics::new(),
@@ -189,6 +197,18 @@ impl Simulator {
     /// still reflects the original configuration.
     pub fn replace_baseline(&mut self, prefetcher: Box<dyn Prefetcher>) {
         self.baseline = prefetcher;
+    }
+
+    /// Attaches a deterministic fault script to the memory pool before
+    /// running. Scripts make the pool non-degenerate, so the report
+    /// gains a fabric section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the script names a node the
+    /// pool does not have.
+    pub fn set_fault_script(&mut self, script: &FaultScript) -> Result<()> {
+        self.pool.set_fault_script(script)
     }
 
     /// Runs every app to completion and reports.
@@ -361,6 +381,7 @@ impl Simulator {
         }
         if let Some(slot) = entry.slot {
             self.swapdev.free(slot);
+            self.pool.release(pid, vpn);
         }
         self.sc_lru.remove(entry.ppn);
         self.map_page(pid, vpn, entry.ppn);
@@ -399,8 +420,8 @@ impl Simulator {
 
         let started = self.clock;
         let done = self
-            .rdma
-            .issue_page_read_rec(self.clock, &mut self.recorder);
+            .pool
+            .read_page(pid, vpn, self.clock, &mut self.recorder);
         self.clock = done + self.config.latency.major_fault_cpu();
         let latency = self.clock.saturating_since(started);
         if self.obs_hists {
@@ -416,6 +437,7 @@ impl Simulator {
 
         let ppn = self.ensure_frame(pid, vpn);
         self.swapdev.free(slot);
+        self.pool.release(pid, vpn);
         self.map_page(pid, vpn, ppn);
         if !access.kind.is_read() {
             self.spaces
@@ -528,6 +550,21 @@ impl Simulator {
                     continue;
                 }
             }
+            // Stream-aware placement learns which stream owns which
+            // regions from the orders flowing past.
+            if self.pool.wants_hints() {
+                let stream_key =
+                    order.stream.slot() as u64 | (u64::from(order.stream.generation()) << 16);
+                let first = order.vpn.raw() >> REGION_SHIFT;
+                let last = order
+                    .vpn
+                    .offset_saturating(i64::from(order.span.max(1)) - 1)
+                    .raw()
+                    >> REGION_SHIFT;
+                for region in first..=last {
+                    self.stream_hints.insert((order.pid, region), stream_key);
+                }
+            }
             if let Some(due) = h.exec.request_span_rec(
                 order.pid,
                 order.vpn,
@@ -535,7 +572,7 @@ impl Simulator {
                 order.stream,
                 order.tier,
                 self.clock,
-                &mut self.rdma,
+                &mut self.pool,
                 &mut self.recorder,
             ) {
                 if self.obs_hists {
@@ -587,8 +624,8 @@ impl Simulator {
             return;
         }
         let done = self
-            .rdma
-            .issue_page_read_rec(self.clock, &mut self.recorder);
+            .pool
+            .read_page(req.pid, req.vpn, self.clock, &mut self.recorder);
         if self.obs_hists {
             self.hists
                 .rdma_read
@@ -653,6 +690,7 @@ impl Simulator {
             // Depth-N semantics: eager PTE injection, page charged and
             // on the *active* list (§II-C).
             self.swapdev.free(slot);
+            self.pool.release(arrival.pid, arrival.vpn);
             self.map_page(arrival.pid, arrival.vpn, ppn);
         } else {
             self.swapcache.insert(
@@ -694,6 +732,7 @@ impl Simulator {
             };
             let ppn = self.ensure_frame(c.pid, vpn);
             self.swapdev.free(slot);
+            self.pool.release(c.pid, vpn);
             self.map_page(c.pid, vpn, ppn);
             let h = self.hopp.as_mut().expect("hopp completion without hopp");
             h.metrics.on_prefetch_arrival(c.pid, vpn, c.done_at);
@@ -788,13 +827,22 @@ impl Simulator {
                 .swap_out(vpn, slot, &mut self.mc)
                 .expect("mapped page");
             debug_assert_eq!(pte.ppn, ppn);
+            let hint = if self.pool.wants_hints() {
+                self.stream_hints
+                    .get(&(pid, vpn.raw() >> REGION_SHIFT))
+                    .copied()
+            } else {
+                None
+            };
+            self.pool
+                .place(pid, vpn, hint, self.clock, &mut self.recorder);
             dirty = pte.dirty;
             if pte.dirty {
                 // Writeback happens off the critical path but occupies
                 // the shared link.
                 let done = self
-                    .rdma
-                    .issue_page_write_rec(self.clock, &mut self.recorder);
+                    .pool
+                    .write_page(pid, vpn, self.clock, &mut self.recorder);
                 if self.obs_hists {
                     self.hists
                         .rdma_write
@@ -904,7 +952,12 @@ impl Simulator {
             rpt: self.mc.rpt().stats(),
             ledger: self.mc.ledger(),
             llc: self.llc.stats(),
-            rdma: self.rdma.stats(),
+            rdma: self.pool.stats(),
+            fabric: if self.pool.is_degenerate() {
+                None
+            } else {
+                Some(self.pool.report(self.clock))
+            },
             timeline: self.timeline,
             obs: ObsReport {
                 level: self.config.obs_level,

@@ -244,6 +244,43 @@ impl fmt::Debug for SwapSlot {
     }
 }
 
+/// A memory node in a disaggregated memory pool.
+///
+/// The paper's testbed has exactly one memory server; the fabric layer
+/// generalizes it to a rack-scale pool where placement, replication and
+/// failover are expressed in terms of node indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a raw pool index.
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw pool index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The pool index as a `usize`, for indexing node tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ pub mod time;
 
 pub use access::{AccessKind, HotPage, LineAccess, PageAccess, PageFlags};
 pub use error::{Error, Result};
-pub use ids::{LineAddr, Pid, Ppn, SwapSlot, Vpn};
+pub use ids::{LineAddr, NodeId, Pid, Ppn, SwapSlot, Vpn};
 pub use rng::SplitMix64;
 pub use time::Nanos;
 

@@ -18,6 +18,7 @@
 //! | [`hw`] | `hopp-hw` | hot page detection, reverse page table (+cache) |
 //! | [`kernel`] | `hopp-kernel` | swapcache, LRU reclaim, fault costs, cgroups |
 //! | [`net`] | `hopp-net` | RDMA link model, completion queues |
+//! | [`fabric`] | `hopp-fabric` | sharded memory pool, placement, faults, failover |
 //! | [`core`] | `hopp-core` | STT, SSP/LSP/RSP, policy + execution engines |
 //! | [`baselines`] | `hopp-baselines` | Fastswap, Leap, VMA, Depth-N |
 //! | [`workloads`] | `hopp-workloads` | the paper's 15 application models |
@@ -46,6 +47,7 @@
 
 pub use hopp_baselines as baselines;
 pub use hopp_core as core;
+pub use hopp_fabric as fabric;
 pub use hopp_hw as hw;
 pub use hopp_kernel as kernel;
 pub use hopp_mem as mem;
