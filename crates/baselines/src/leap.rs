@@ -12,7 +12,7 @@
 //! §VI-E effect that makes Leap slower than Fastswap on the two-thread
 //! microbenchmark.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use hopp_kernel::{FaultInfo, PrefetchRequest, Prefetcher, SlotView};
@@ -27,7 +27,7 @@ pub struct LeapPrefetcher {
     /// doubles after a prefetch-hit and halves after a major fault,
     /// within `[min_depth, max_depth]`.
     adaptive: Option<(usize, usize)>,
-    history: HashMap<Pid, VecDeque<Vpn>>,
+    history: BTreeMap<Pid, VecDeque<Vpn>>,
 }
 
 impl Default for LeapPrefetcher {
@@ -52,7 +52,7 @@ impl LeapPrefetcher {
             window,
             depth,
             adaptive: None,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -71,7 +71,7 @@ impl LeapPrefetcher {
             window,
             depth: min_depth,
             adaptive: Some((min_depth, max_depth)),
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 

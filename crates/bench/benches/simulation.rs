@@ -39,22 +39,28 @@ fn bench(name: &str, mut op: impl FnMut()) {
 
 fn main() {
     bench("fig9/kmeans_fastswap_50", || {
-        black_box(run_workload(
-            WorkloadKind::Kmeans,
-            FP,
-            42,
-            SystemConfig::Baseline(BaselineKind::Fastswap),
-            0.5,
-        ));
+        black_box(
+            run_workload(
+                WorkloadKind::Kmeans,
+                FP,
+                42,
+                SystemConfig::Baseline(BaselineKind::Fastswap),
+                0.5,
+            )
+            .expect("bench run"),
+        );
     });
     bench("fig9/kmeans_hopp_50", || {
-        black_box(run_workload(
-            WorkloadKind::Kmeans,
-            FP,
-            42,
-            SystemConfig::hopp_default(),
-            0.5,
-        ));
+        black_box(
+            run_workload(
+                WorkloadKind::Kmeans,
+                FP,
+                42,
+                SystemConfig::hopp_default(),
+                0.5,
+            )
+            .expect("bench run"),
+        );
     });
     bench("table2/kmeans_sweep", || {
         black_box(experiments::table2(&scale()));
@@ -63,13 +69,16 @@ fn main() {
         black_box(experiments::table3(&scale()));
     });
     bench("fig18/mg_three_tier", || {
-        black_box(run_workload(
-            WorkloadKind::NpbMg,
-            FP,
-            42,
-            SystemConfig::hopp_default(),
-            0.5,
-        ));
+        black_box(
+            run_workload(
+                WorkloadKind::NpbMg,
+                FP,
+                42,
+                SystemConfig::hopp_default(),
+                0.5,
+            )
+            .expect("bench run"),
+        );
     });
     bench("fig22/microbench_suite", || {
         black_box(experiments::fig22(&scale()));

@@ -4,11 +4,53 @@ use hopp_core::three_tier::TierConfig;
 use hopp_core::{HoppConfig, PolicyConfig};
 use hopp_hw::{HpdConfig, HwCostModel, RptCacheConfig};
 use hopp_sim::{
-    run_local, run_workload, run_workload_with, run_workload_with_faults, AppSpec, BaselineKind,
-    FabricConfig, FaultScript, PlacementKind, SimConfig, SimReport, Simulator, SystemConfig,
+    AppSpec, BaselineKind, FabricConfig, FaultScript, PlacementKind, SimConfig, SimReport,
+    Simulator, SystemConfig,
 };
 use hopp_types::{Nanos, Pid};
 use hopp_workloads::WorkloadKind;
+
+// Experiment generators treat a failed run as fatal: the library
+// runners return `Result` so fault-injection studies can observe typed
+// errors, but a figure cannot be produced from a partial matrix, so
+// these wrappers panic with the run's error context instead.
+
+fn run_local(kind: WorkloadKind, footprint_pages: u64, seed: u64) -> SimReport {
+    hopp_sim::run_local(kind, footprint_pages, seed).expect("local reference run")
+}
+
+fn run_workload(
+    kind: WorkloadKind,
+    footprint_pages: u64,
+    seed: u64,
+    system: SystemConfig,
+    mem_ratio: f64,
+) -> SimReport {
+    hopp_sim::run_workload(kind, footprint_pages, seed, system, mem_ratio).expect("experiment run")
+}
+
+fn run_workload_with(
+    config: SimConfig,
+    kind: WorkloadKind,
+    footprint_pages: u64,
+    seed: u64,
+    mem_ratio: f64,
+) -> SimReport {
+    hopp_sim::run_workload_with(config, kind, footprint_pages, seed, mem_ratio)
+        .expect("experiment run")
+}
+
+fn run_workload_with_faults(
+    config: SimConfig,
+    kind: WorkloadKind,
+    footprint_pages: u64,
+    seed: u64,
+    mem_ratio: f64,
+    script: &FaultScript,
+) -> SimReport {
+    hopp_sim::run_workload_with_faults(config, kind, footprint_pages, seed, mem_ratio, script)
+        .expect("fault-injection run")
+}
 
 /// Experiment sizing. Footprints are in 4 KB pages; the defaults keep a
 /// full `experiments all` run to a couple of minutes in release mode
@@ -229,9 +271,9 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
                     .iter()
                     .enumerate()
                     .map(|(i, &kind)| AppSpec {
-                        pid: Pid::new(i as u16 + 1),
+                        pid: Pid::from_index(i + 1),
                         stream: kind.build(
-                            Pid::new(i as u16 + 1),
+                            Pid::from_index(i + 1),
                             scale.footprint_of(kind),
                             scale.seed + i as u64,
                         ),
@@ -241,6 +283,7 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
                 Simulator::new(SimConfig::with_system(system), apps)
                     .expect("valid group config")
                     .run()
+                    .expect("group run")
             };
             let fs = run_group(SystemConfig::Baseline(BaselineKind::Fastswap));
             let hp = run_group(SystemConfig::hopp_default());
@@ -248,7 +291,7 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
                 .iter()
                 .enumerate()
                 .map(|(i, &kind)| {
-                    let pid = Pid::new(i as u16 + 1);
+                    let pid = Pid::from_index(i + 1);
                     let f = fs.app_completion(pid).expect("app ran").as_nanos() as f64;
                     let h = hp.app_completion(pid).expect("app ran").as_nanos() as f64;
                     (kind, f / h)
@@ -534,7 +577,7 @@ pub fn leap_window(scale: &Scale) -> Vec<(WorkloadKind, f64, f64, f64, f64)> {
                 )
                 .expect("valid leap config");
                 sim.replace_baseline(leap);
-                sim.run()
+                sim.run().expect("leap run")
             };
             let fixed = run_leap(Box::new(LeapPrefetcher::new(4, 8)));
             let adaptive = run_leap(Box::new(LeapPrefetcher::adaptive(4, 2, 32)));

@@ -1,0 +1,356 @@
+//! A minimal Rust lexer for line-oriented static analysis.
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! checker cannot use `syn`. For the invariants `hopp-check` enforces
+//! (named-identifier bans, method-call bans, cast hygiene) a full AST
+//! is unnecessary: it suffices to know, for every source line,
+//!
+//! * the *code* on that line with comments and literal contents blanked
+//!   out (so `"HashMap"` in a string never trips the determinism rule),
+//! * the *comment text* on that line (where waivers live), and
+//! * whether the line sits inside a `#[cfg(test)]` region or `#[test]`
+//!   function (where the panic policy does not apply).
+//!
+//! The lexer is a single character-level state machine over the file,
+//! followed by a brace-depth pass that marks test regions.
+
+/// One analysed source line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Source code with comments removed and string/char literal
+    /// contents blanked (quotes preserved, so structure survives).
+    pub code: String,
+    /// Comment text on this line (`//`, `///`, `//!` and block
+    /// comment fragments), concatenated.
+    pub comment: String,
+    /// True when the line is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A lexed file: per-line code/comment split plus test-region marks.
+#[derive(Clone, Debug)]
+pub struct LexedFile {
+    /// Lines, index 0 = source line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> LexedFile {
+    let (code, comment) = split_code_comments(src);
+    let code_lines: Vec<&str> = code.split('\n').collect();
+    let comment_lines: Vec<&str> = comment.split('\n').collect();
+    let tests = mark_test_regions(&code_lines);
+    let lines = code_lines
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Line {
+            code: (*c).to_string(),
+            comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
+            in_test: tests[i],
+        })
+        .collect();
+    LexedFile { lines }
+}
+
+/// Splits source into parallel code and comment streams of identical
+/// line structure. Literal contents are blanked in the code stream.
+fn split_code_comments(src: &str) -> (String, String) {
+    let mut code = String::with_capacity(src.len());
+    let mut comment = String::with_capacity(src.len() / 4);
+    let mut state = State::Normal;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            // Newlines go to both streams to keep line numbers aligned.
+            code.push('\n');
+            comment.push('\n');
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment.push(' ');
+                    i += 1;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    // Raw string? Look back for r / r# prefixes already
+                    // emitted; simpler: handled at the 'r' below.
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            code.push('_');
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is 'ident not
+                    // followed by a closing quote; a char literal closes
+                    // within a few chars (escapes included).
+                    if is_char_literal(&chars, i) {
+                        state = State::Char;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+                continue;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    let d = depth - 1;
+                    if d == 0 {
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(d);
+                    }
+                    comment.push(' ');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push(' ');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+                continue;
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push('_');
+                    if next.is_some() && next != Some('\n') {
+                        code.push('_');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Normal;
+                    code.push('"');
+                } else {
+                    code.push('_');
+                }
+                i += 1;
+                continue;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            code.push('_');
+                        }
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push('_');
+                i += 1;
+                continue;
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() && next != Some('\n') {
+                    code.push('_');
+                    code.push('_');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Normal;
+                    code.push('\'');
+                } else {
+                    code.push('_');
+                }
+                i += 1;
+                continue;
+            }
+        }
+        // Keep the comment stream line-aligned: pad nothing here; the
+        // comment stream only receives characters in comment states and
+        // newlines above.
+        let _ = &comment;
+    }
+    (code, comment)
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime) at
+/// position `i` of a `'`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` regions or `#[test]` functions by
+/// brace counting over the comment-stripped code stream.
+fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut marks = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depths at which a test region's opening brace sits.
+    let mut test_depths: Vec<i64> = Vec::new();
+    // A test attribute was seen; the next `{` opens its region.
+    let mut pending = false;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let has_attr = line.contains("#[cfg(test)]") || line.contains("#[test]");
+        if has_attr {
+            pending = true;
+        }
+        marks[idx] = !test_depths.is_empty() || pending;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        test_depths.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_out_of_code() {
+        let f = lex("let x = 1; // trailing words\n/* block */ let y = 2;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("trailing"));
+        assert!(f.lines[0].comment.contains("trailing words"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+        assert!(f.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = lex("let s = \"HashMap::new() // not a comment\";\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.is_empty());
+        assert!(f.lines[0].code.contains('"'), "quotes survive");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let f = lex("let s = r#\"x \" y\"#; let t = \"a\\\"b\"; let u = 'c';\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("x \" y"));
+        assert!(code.contains("let t"));
+        assert!(code.contains("let u"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'z';\n");
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[1].code.contains('z'));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line itself");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "region closed");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let f = lex("/* a /* b */ c */ let x = 1;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains('a'));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = lex("/* one\ntwo */ let k = 3;\n");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(f.lines[1].code.contains("let k = 3;"));
+        assert!(f.lines[0].comment.contains("one"));
+    }
+}

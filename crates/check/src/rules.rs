@@ -1,0 +1,403 @@
+//! The four rule implementations.
+
+use std::path::Path;
+
+use crate::lexer::Line;
+use crate::{FileContext, Finding, Rule};
+
+/// Crates whose code runs inside the simulated clock domain. Everything
+/// here must be deterministic and panic-free; harness crates (`trace`
+/// file IO, `obs` exporters, `workloads` generators, `bench`, the
+/// checker itself) are exempt from those two rules but not from unit
+/// hygiene.
+pub const SIM_CRITICAL_CRATES: [&str; 8] = [
+    "hw",
+    "kernel",
+    "mem",
+    "net",
+    "fabric",
+    "core",
+    "sim",
+    "baselines",
+];
+
+/// ID newtypes whose raw values must not be `as`-cast outside
+/// `crates/types` (the one place allowed to define conversions).
+const ID_NEWTYPES: [&str; 6] = ["Vpn", "Ppn", "Pid", "NodeId", "LineAddr", "SwapSlot"];
+
+/// Identifiers banned in sim-critical code: wall-clock time, OS
+/// randomness and threading have no place inside the simulated clock
+/// domain, and default-hasher collections iterate in a random order.
+const DETERMINISM_BANS: [(&str, &str); 6] = [
+    (
+        "Instant",
+        "wall-clock time in sim code; simulated time is `Nanos` carried by the event loop",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time in sim code; simulated time is `Nanos` carried by the event loop",
+    ),
+    (
+        "thread::spawn",
+        "threads in sim code break deterministic replay; the simulator is single-threaded by design",
+    ),
+    (
+        "rand::",
+        "OS randomness in sim code; use the seeded `hopp_types::rng` SplitMix64",
+    ),
+    (
+        "HashMap",
+        "default-hasher map iterates in random order; use `BTreeMap` (or sort before iterating)",
+    ),
+    (
+        "HashSet",
+        "default-hasher set iterates in random order; use `BTreeSet` (or sort before iterating)",
+    ),
+];
+
+/// Panicking forms banned in non-test hot-path code. `assert!` /
+/// `debug_assert!` stay allowed: they state contracts, while these
+/// forms swallow recoverable failures that should travel as errors.
+const PANIC_BANS: [(&str, &str); 5] = [
+    (
+        ".unwrap()",
+        "propagate a typed error (`?`) or handle the `None`/`Err` case",
+    ),
+    (
+        ".expect(",
+        "propagate a typed error (`?`) instead of panicking with a message",
+    ),
+    (
+        "panic!(",
+        "return a typed `hopp_types::Error` so callers can report context",
+    ),
+    (
+        "unreachable!(",
+        "make the invariant a type or return a typed error",
+    ),
+    ("todo!(", "unimplemented code must not ship in hot paths"),
+];
+
+/// Runs the three per-file rules over one lexed file.
+pub fn check_file(ctx: &mut FileContext<'_>, findings: &mut Vec<Finding>) {
+    let sim_critical = SIM_CRITICAL_CRATES.contains(&ctx.krate);
+    // The whole `benches/` tree is measurement harness, not sim code.
+    let is_bench = ctx.rel.contains("/benches/");
+    for (idx, line) in ctx.lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        if sim_critical && !is_bench {
+            check_determinism(ctx, line, lineno, findings);
+            check_panic_policy(ctx, line, lineno, findings);
+        }
+        if ctx.krate != "types" && ctx.krate != "check" {
+            check_unit_hygiene(ctx, line, lineno, findings);
+        }
+    }
+}
+
+fn check_determinism(
+    ctx: &FileContext<'_>,
+    line: &Line,
+    lineno: usize,
+    findings: &mut Vec<Finding>,
+) {
+    for (needle, steer) in DETERMINISM_BANS {
+        if contains_ident(&line.code, needle) {
+            findings.push(Finding {
+                rule: Rule::Determinism,
+                file: ctx.rel.clone(),
+                line: lineno,
+                message: format!("`{needle}`: {steer}"),
+            });
+        }
+    }
+}
+
+fn check_panic_policy(
+    ctx: &FileContext<'_>,
+    line: &Line,
+    lineno: usize,
+    findings: &mut Vec<Finding>,
+) {
+    for (needle, steer) in PANIC_BANS {
+        if line.code.contains(needle) {
+            findings.push(Finding {
+                rule: Rule::PanicPolicy,
+                file: ctx.rel.clone(),
+                line: lineno,
+                message: format!("`{}`: {steer}", needle.trim_end_matches('(')),
+            });
+        }
+    }
+}
+
+fn check_unit_hygiene(
+    ctx: &FileContext<'_>,
+    line: &Line,
+    lineno: usize,
+    findings: &mut Vec<Finding>,
+) {
+    // Casting a newtype's raw value: `x.raw() as usize` loses the unit.
+    if line.code.contains(".raw() as ") {
+        findings.push(Finding {
+            rule: Rule::UnitHygiene,
+            file: ctx.rel.clone(),
+            line: lineno,
+            message: "`.raw() as …` cast loses the ID's unit; add/use an explicit \
+                      conversion method on the newtype (e.g. `Ppn::index()`)"
+                .to_string(),
+        });
+    }
+    // Constructing a newtype from a cast: `NodeId::new(i as u16)` can
+    // silently truncate and hides unit conversions from review.
+    for ty in ID_NEWTYPES {
+        let needle = format!("{ty}::new(");
+        let mut start = 0;
+        while let Some(pos) = line.code[start..].find(&needle) {
+            let open = start + pos + needle.len() - 1;
+            let args = argument_span(&line.code, open);
+            if args.contains(" as ") {
+                findings.push(Finding {
+                    rule: Rule::UnitHygiene,
+                    file: ctx.rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`{ty}::new(… as …)` builds an ID from a raw cast; use an explicit \
+                         conversion constructor on `{ty}` (defined in `crates/types`)"
+                    ),
+                });
+                break;
+            }
+            start = open + 1;
+        }
+    }
+}
+
+/// The text between the paren at `open` and its match (or end of line).
+fn argument_span(code: &str, open: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &code[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &code[open + 1..]
+}
+
+/// Word-boundary containment: `HashMap` matches `HashMap::new` but not
+/// `MyHashMapLike` or `hash_map`.
+fn contains_ident(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = code[..at].chars().next_back().unwrap_or(' ');
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let end = at + needle.len();
+        let after_ok = end >= code.len() || {
+            let c = code[end..].chars().next().unwrap_or(' ');
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Rule 4: every `SimConfig` field must be documented in
+/// `docs/config.md` with a CLI flag that actually exists in the
+/// `hoppsim` binary's source. The docs table *is* the mapping; drift in
+/// any of the three places (struct, docs, CLI) surfaces here.
+pub fn check_config_drift(root: &Path, findings: &mut Vec<Finding>) {
+    let config_rs = root.join("crates/sim/src/config.rs");
+    let hoppsim_rs = root.join("crates/sim/src/bin/hoppsim.rs");
+    let docs_md = root.join("docs/config.md");
+    let mut missing = |file: &Path, what: &str| {
+        findings.push(Finding {
+            rule: Rule::ConfigDrift,
+            file: crate::relative_to(root, file),
+            line: 1,
+            message: format!("{what} not found; the config-drift rule needs it"),
+        });
+    };
+    let Ok(config_src) = std::fs::read_to_string(&config_rs) else {
+        missing(&config_rs, "SimConfig source");
+        return;
+    };
+    let Ok(hoppsim_src) = std::fs::read_to_string(&hoppsim_rs) else {
+        missing(&hoppsim_rs, "hoppsim CLI source");
+        return;
+    };
+    let Ok(docs_src) = std::fs::read_to_string(&docs_md) else {
+        missing(&docs_md, "docs/config.md mapping table");
+        return;
+    };
+
+    let fields = sim_config_fields(&config_src);
+    let rows = config_table_rows(&docs_src);
+    let docs_rel = crate::relative_to(root, &docs_md);
+
+    for (field, lineno) in &fields {
+        match rows.iter().find(|(f, _, _)| f == field) {
+            None => findings.push(Finding {
+                rule: Rule::ConfigDrift,
+                file: crate::relative_to(root, &config_rs),
+                line: *lineno,
+                message: format!(
+                    "`SimConfig::{field}` has no row in docs/config.md; document it and its \
+                     CLI flag"
+                ),
+            }),
+            Some((_, flag, row_line)) => {
+                if !hoppsim_src.contains(flag.as_str()) {
+                    findings.push(Finding {
+                        rule: Rule::ConfigDrift,
+                        file: docs_rel.clone(),
+                        line: *row_line,
+                        message: format!(
+                            "`SimConfig::{field}` is documented with flag `{flag}`, but hoppsim \
+                             does not implement that flag"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (field, _, row_line) in &rows {
+        if !fields.iter().any(|(f, _)| f == field) {
+            findings.push(Finding {
+                rule: Rule::ConfigDrift,
+                file: docs_rel.clone(),
+                line: *row_line,
+                message: format!(
+                    "docs/config.md documents `{field}`, which is not a SimConfig field; \
+                     remove the stale row"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(field, line)` pairs from `pub struct SimConfig { … }`.
+fn sim_config_fields(src: &str) -> Vec<(String, usize)> {
+    let lexed = crate::lexer::lex(src);
+    let mut fields = Vec::new();
+    let mut inside = false;
+    let mut depth = 0i32;
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let code = line.code.trim();
+        if code.starts_with("pub struct SimConfig") {
+            inside = true;
+        }
+        if inside {
+            if let Some(rest) = code.strip_prefix("pub ") {
+                if let Some(colon) = rest.find(':') {
+                    let name = rest[..colon].trim();
+                    if depth == 1
+                        && !name.contains('(')
+                        && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                        && !name.is_empty()
+                    {
+                        fields.push((name.to_string(), idx + 1));
+                    }
+                }
+            }
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return fields;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Parses `| field | --flag | … |` rows out of the docs table.
+fn config_table_rows(src: &str) -> Vec<(String, String, usize)> {
+    let mut rows = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let field = cells[0].trim_matches('`').to_string();
+        let flag = cells[1].trim_matches('`').to_string();
+        if field.is_empty() || field == "field" || field.starts_with('-') {
+            continue; // header or separator row
+        }
+        rows.push((field, flag, idx + 1));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_matching_respects_word_boundaries() {
+        assert!(contains_ident("let m = HashMap::new();", "HashMap"));
+        assert!(contains_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_ident("struct MyHashMapLike;", "HashMap"));
+        assert!(!contains_ident("let hash_map = 1;", "HashMap"));
+        assert!(contains_ident("std::thread::spawn(f)", "thread::spawn"));
+    }
+
+    #[test]
+    fn argument_span_matches_parens() {
+        let code = "NodeId::new(f(x) as u16, y)";
+        let open = code.find("new(").unwrap() + 3;
+        assert_eq!(argument_span(code, open), "f(x) as u16, y");
+    }
+
+    #[test]
+    fn sim_config_fields_parse() {
+        let src = "\
+/// Docs.
+pub struct SimConfig {
+    /// The LLC.
+    pub llc: LlcConfig,
+    pub channels: usize,
+}
+pub struct Other { pub nope: u8 }
+";
+        let fields = sim_config_fields(src);
+        assert_eq!(
+            fields.iter().map(|(f, _)| f.as_str()).collect::<Vec<_>>(),
+            ["llc", "channels"]
+        );
+    }
+
+    #[test]
+    fn config_rows_skip_headers() {
+        let rows = config_table_rows("| field | flag |\n|---|---|\n| `llc` | `--llc-kb` |\n");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "llc");
+        assert_eq!(rows[0].1, "--llc-kb");
+    }
+}

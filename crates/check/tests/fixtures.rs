@@ -1,0 +1,152 @@
+//! Fixture tests: each checker rule fires on a seeded violation with an
+//! exact `file:line`, and waivers behave as documented — one finding per
+//! waiver, reasons mandatory, stale waivers flagged.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature fake workspace
+//! (`crates/*/src`, `crates/sim/src/bin`, `docs/`) handed to
+//! [`hopp_check::run`] as its root. The `.rs` files inside are never
+//! compiled and never scanned by the real workspace check (which skips
+//! `tests/` trees), so they can carry deliberate violations.
+
+use std::path::PathBuf;
+
+use hopp_check::{CheckReport, Finding, Rule};
+
+fn check(fixture: &str) -> CheckReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    hopp_check::run(&root).expect("fixture workspace is readable")
+}
+
+fn brief(f: &Finding) -> (Rule, &str, usize) {
+    (f.rule, f.file.as_str(), f.line)
+}
+
+#[test]
+fn seeded_violations_fire_once_each_with_file_and_line() {
+    let report = check("seeded");
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Determinism, "crates/hw/src/lib.rs", 3),
+            (Rule::PanicPolicy, "crates/kernel/src/lib.rs", 5),
+            (Rule::UnitHygiene, "crates/mem/src/lib.rs", 7),
+            (Rule::ConfigDrift, "crates/sim/src/config.rs", 8),
+        ],
+        "one finding per rule, at the seeded file:line\n{}",
+        report.render()
+    );
+    assert_eq!(report.files_checked, 5);
+    assert_eq!(report.waiver_budget(), 0);
+
+    // Findings render as `file:line: [rule] message` so editors can jump.
+    let shown = report.findings[0].to_string();
+    assert!(
+        shown.starts_with("crates/hw/src/lib.rs:3: [determinism] "),
+        "unexpected rendering: {shown}"
+    );
+    assert!(shown.contains("HashMap"), "names the offender: {shown}");
+
+    // The `#[cfg(test)]` HashMap in the same file stays exempt: line 3
+    // is the only determinism finding.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::Determinism)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn seeded_config_drift_points_at_the_undocumented_field() {
+    let report = check("seeded");
+    let drift: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::ConfigDrift)
+        .collect();
+    assert_eq!(drift.len(), 1);
+    assert!(
+        drift[0].message.contains("ghost"),
+        "names the field: {}",
+        drift[0].message
+    );
+}
+
+#[test]
+fn reasoned_waivers_suppress_exactly_their_findings() {
+    let report = check("waived");
+    assert!(
+        report.is_clean(),
+        "every seeded violation is waived\n{}",
+        report.render()
+    );
+    // Trailing waivers (hw x2, mem x1) and a standalone waiver (kernel)
+    // each spent exactly one budget entry under their rule.
+    assert_eq!(report.waived.get("determinism"), Some(&2));
+    assert_eq!(report.waived.get("panic-policy"), Some(&1));
+    assert_eq!(report.waived.get("unit-hygiene"), Some(&1));
+    assert_eq!(report.waiver_budget(), 4);
+    assert_eq!(report.files_checked, 5);
+}
+
+#[test]
+fn one_waiver_covers_one_line_not_a_region() {
+    let report = check("double");
+    // Two consecutive unwraps, one waiver: the first is suppressed, the
+    // second still fires.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::PanicPolicy, "crates/kernel/src/lib.rs", 7)],
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.waived.get("panic-policy"), Some(&1));
+}
+
+#[test]
+fn stale_and_reasonless_waivers_are_findings() {
+    let report = check("stale");
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![
+            // The waiver with nothing to waive, reported at its own line.
+            (Rule::Determinism, "crates/core/src/lib.rs", 3),
+            // The reason-less waiver, also at its own line ...
+            (Rule::PanicPolicy, "crates/core/src/lib.rs", 10),
+            // ... which therefore does NOT suppress the unwrap below it.
+            (Rule::PanicPolicy, "crates/core/src/lib.rs", 11),
+        ],
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("unused waiver"),
+        "{}",
+        report.findings[0].message
+    );
+    assert!(
+        report.findings[0].message.contains("line 4"),
+        "says which line it targeted: {}",
+        report.findings[0].message
+    );
+    assert!(
+        report.findings[1].message.contains("no reason"),
+        "{}",
+        report.findings[1].message
+    );
+    assert_eq!(report.waiver_budget(), 0, "nothing legitimate was waived");
+}
+
+#[test]
+fn missing_config_surfaces_are_reported_not_fatal() {
+    // A root with no crates/ directory at all is an IO error ...
+    let bogus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/does-not-exist");
+    assert!(hopp_check::run(&bogus).is_err());
+}

@@ -1,0 +1,9 @@
+//! Fixture: one waiver suppresses exactly one finding, not a region.
+
+/// Two unwraps on consecutive lines; the waiver covers only the first.
+pub fn both(a: Option<u64>, b: Option<u64>) -> u64 {
+    // hopp-check: allow(panic-policy): fixture: the waiver must cover only the next line
+    let x = a.unwrap();
+    let y = b.unwrap();
+    x + y
+}

@@ -1,0 +1,18 @@
+//! Fixture: one determinism violation in a sim-critical crate.
+
+use std::collections::HashMap;
+
+/// The deterministic replacement the real code would use.
+pub type Tally = std::collections::BTreeMap<u64, u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_maps_in_test_code_are_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 1u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: one panic-policy violation in a sim-critical crate.
+
+/// Panics on an empty slice instead of returning a typed error.
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

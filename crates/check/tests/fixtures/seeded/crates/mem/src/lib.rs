@@ -1,0 +1,8 @@
+//! Fixture: one unit-hygiene violation (raw cast into an ID newtype).
+
+use hopp_types::Vpn;
+
+/// Launders a loop index into a page number.
+pub fn vpn_of(i: usize) -> Vpn {
+    Vpn::new(i as u64)
+}

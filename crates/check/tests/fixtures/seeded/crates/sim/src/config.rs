@@ -1,0 +1,9 @@
+//! Fixture SimConfig with one undocumented field.
+
+/// Machine configuration.
+pub struct SimConfig {
+    /// Documented knob.
+    pub llc: usize,
+    /// Undocumented knob: the seeded config-drift violation.
+    pub ghost: usize,
+}

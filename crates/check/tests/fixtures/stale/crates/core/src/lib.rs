@@ -1,0 +1,12 @@
+//! Fixture: stale and reason-less waivers are themselves findings.
+
+// hopp-check: allow(determinism): nothing on the next line trips the rule
+pub fn fine() -> u64 {
+    42
+}
+
+/// A reason-less waiver suppresses nothing and is flagged itself.
+pub fn sloppy(a: Option<u64>) -> u64 {
+    // hopp-check: allow(panic-policy)
+    a.unwrap()
+}

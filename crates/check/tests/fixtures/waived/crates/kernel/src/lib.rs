@@ -1,0 +1,7 @@
+//! Fixture: a standalone waiver suppresses the finding on the next line.
+
+/// Panics on an empty slice; waived because this is a fixture.
+pub fn head(xs: &[u64]) -> u64 {
+    // hopp-check: allow(panic-policy): fixture exercising the standalone-waiver path
+    *xs.first().unwrap()
+}

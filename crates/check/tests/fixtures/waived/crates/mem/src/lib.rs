@@ -1,0 +1,8 @@
+//! Fixture: a unit-hygiene waiver on a raw cast into an ID newtype.
+
+use hopp_types::Vpn;
+
+/// Launders a loop index into a page number; waived for the fixture.
+pub fn vpn_of(i: usize) -> Vpn {
+    Vpn::new(i as u64) // hopp-check: allow(unit-hygiene): fixture exercising the cast waiver
+}

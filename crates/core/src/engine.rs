@@ -64,6 +64,7 @@ impl HoppEngine {
     /// Panics if the STT configuration is invalid; use
     /// [`HoppEngine::try_new`] to handle that as an error.
     pub fn new(config: HoppConfig) -> Self {
+        // hopp-check: allow(panic-policy): documented panicking convenience constructor; try_new is the fallible path
         Self::try_new(config).expect("invalid HoPP configuration")
     }
 
@@ -120,7 +121,7 @@ impl HoppEngine {
         // prune entries of streams the STT has since recycled so state
         // stays bounded over arbitrarily long runs.
         if self.hot_pages_seen.is_multiple_of(4_096) {
-            let live: std::collections::HashSet<StreamId> = self.stt.live_stream_ids().collect();
+            let live: std::collections::BTreeSet<StreamId> = self.stt.live_stream_ids().collect();
             self.policy.retain_streams(|s| live.contains(&s));
         }
         let Some(window) = self.stt.observe_rec(hot, rec) else {

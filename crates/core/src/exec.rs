@@ -11,12 +11,12 @@
 //! is how early injection keeps the accuracy/coverage feedback loop
 //! alive that Depth-N loses (§II-C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_fabric::RemotePool;
 use hopp_net::CompletionQueue;
 use hopp_obs::{Event, NopRecorder, Recorder};
-use hopp_types::{Nanos, Pid, Vpn};
+use hopp_types::{Nanos, Pid, Result, Vpn};
 
 use crate::stt::StreamId;
 use crate::three_tier::Tier;
@@ -60,7 +60,7 @@ pub struct ExecStats {
 /// in-flight window, where the page tables can't help.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionEngine {
-    inflight: HashMap<(Pid, Vpn), (StreamId, Tier, Nanos, u32)>,
+    inflight: BTreeMap<(Pid, Vpn), (StreamId, Tier, Nanos, u32)>,
     cq: CompletionQueue<(Pid, Vpn)>,
     stats: ExecStats,
 }
@@ -73,6 +73,11 @@ impl ExecutionEngine {
 
     /// Issues an asynchronous page read, unless the page is already in
     /// flight. Returns the read's completion time if one was issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's read failure (every replica of the page
+    /// lost); see [`RemotePool::read_span`].
     pub fn request(
         &mut self,
         pid: Pid,
@@ -81,13 +86,17 @@ impl ExecutionEngine {
         tier: Tier,
         now: Nanos,
         pool: &mut dyn RemotePool,
-    ) -> Option<Nanos> {
+    ) -> Result<Option<Nanos>> {
         self.request_span(pid, vpn, 1, stream, tier, now, pool)
     }
 
     /// Issues one RDMA read covering `span` consecutive pages (the §IV
     /// huge-page batch path: one request, one completion, `span` PTE
     /// injections). Returns the completion time if issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's read failure; see [`RemotePool::read_span`].
     #[allow(clippy::too_many_arguments)]
     pub fn request_span(
         &mut self,
@@ -98,13 +107,17 @@ impl ExecutionEngine {
         tier: Tier,
         now: Nanos,
         pool: &mut dyn RemotePool,
-    ) -> Option<Nanos> {
+    ) -> Result<Option<Nanos>> {
         self.request_span_rec(pid, vpn, span, stream, tier, now, pool, &mut NopRecorder)
     }
 
     /// [`ExecutionEngine::request_span`], recording the RDMA read and an
     /// [`Event::PrefetchIssued`] whose latency is the expected
     /// issue-to-arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's read failure; see [`RemotePool::read_span`].
     #[allow(clippy::too_many_arguments)]
     pub fn request_span_rec(
         &mut self,
@@ -116,13 +129,13 @@ impl ExecutionEngine {
         now: Nanos,
         pool: &mut dyn RemotePool,
         rec: &mut dyn Recorder,
-    ) -> Option<Nanos> {
+    ) -> Result<Option<Nanos>> {
         debug_assert!(span >= 1);
         if self.inflight.contains_key(&(pid, vpn)) {
             self.stats.duplicate_inflight += 1;
-            return None;
+            return Ok(None);
         }
-        let done = pool.read_span(pid, vpn, span, now, rec);
+        let done = pool.read_span(pid, vpn, span, now, rec)?;
         self.inflight.insert((pid, vpn), (stream, tier, now, span));
         self.cq.push(done, (pid, vpn));
         self.stats.issued += 1;
@@ -137,7 +150,7 @@ impl ExecutionEngine {
                 },
             );
         }
-        Some(done)
+        Ok(Some(done))
     }
 
     /// True if a read for the page is in flight.
@@ -162,6 +175,7 @@ impl ExecutionEngine {
             let (stream, tier, issued_at, span) = self
                 .inflight
                 .remove(&(pid, vpn))
+                // hopp-check: allow(panic-policy): every queued completion was inserted with an inflight record two lines apart; violation is a checker bug, not a run condition
                 .expect("completion for unknown in-flight read");
             self.stats.completed += 1;
             done.push(Completion {
@@ -220,6 +234,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link
             )
+            .unwrap()
             .is_some());
         assert!(exec.is_inflight(Pid::new(1), Vpn::new(9)));
         assert!(exec.poll(Nanos::from_micros(1)).is_empty(), "not done yet");
@@ -246,6 +261,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link
             )
+            .unwrap()
             .is_some());
         assert!(exec
             .request(
@@ -256,6 +272,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link
             )
+            .unwrap()
             .is_none());
         assert_eq!(exec.stats().duplicate_inflight, 1);
         assert_eq!(exec.stats().issued, 1);
@@ -274,7 +291,8 @@ mod tests {
             Tier::Ripple,
             Nanos::ZERO,
             &mut link,
-        );
+        )
+        .unwrap();
         exec.poll(Nanos::from_millis(1));
         // Residency filtering is the caller's job; the engine allows it.
         assert!(exec
@@ -286,6 +304,7 @@ mod tests {
                 Nanos::from_millis(1),
                 &mut link
             )
+            .unwrap()
             .is_some());
     }
 
@@ -302,7 +321,8 @@ mod tests {
                 Tier::Simple,
                 Nanos::ZERO,
                 &mut link,
-            );
+            )
+            .unwrap();
         }
         assert_eq!(exec.inflight_count(), 5);
         let next = exec.next_completion_at().unwrap();
@@ -328,6 +348,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link,
             )
+            .unwrap()
             .unwrap();
         let batch = exec
             .request_span(
@@ -339,6 +360,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link,
             )
+            .unwrap()
             .unwrap();
         // 2 MB serializes far longer than 4 KB, but pays one base latency.
         assert!(batch > single);
@@ -363,6 +385,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link
             )
+            .unwrap()
             .is_some());
         assert!(exec
             .request(
@@ -373,6 +396,7 @@ mod tests {
                 Nanos::ZERO,
                 &mut link
             )
+            .unwrap()
             .is_some());
         assert_eq!(exec.stats().issued, 2);
     }

@@ -92,8 +92,8 @@ pub fn predict(window: &StreamWindow) -> Option<LadderPrediction> {
         return None;
     }
     Some(LadderPrediction {
-        stride_target: majority(&next_stride).expect("non-empty"),
-        pattern_stride: majority(&stride_sum).expect("non-empty"),
+        stride_target: majority(&next_stride)?,
+        pattern_stride: majority(&stride_sum)?,
     })
 }
 

@@ -14,7 +14,7 @@
 //! opposite trade-off of the stride-based tiers. The
 //! `experiments markov` target compares the two.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_types::{HotPage, Nanos, Pid, Vpn};
 
@@ -62,9 +62,9 @@ pub struct MarkovStats {
 pub struct MarkovEngine {
     config: MarkovConfig,
     /// MRU-ordered successor lists.
-    table: HashMap<(Pid, Vpn), Vec<Vpn>>,
+    table: BTreeMap<(Pid, Vpn), Vec<Vpn>>,
     /// Last hot page seen per process.
-    last: HashMap<Pid, Vpn>,
+    last: BTreeMap<Pid, Vpn>,
     stats: MarkovStats,
 }
 
@@ -79,8 +79,8 @@ impl MarkovEngine {
         assert!(config.depth >= 1, "depth must be at least 1");
         MarkovEngine {
             config,
-            table: HashMap::new(),
-            last: HashMap::new(),
+            table: BTreeMap::new(),
+            last: BTreeMap::new(),
             stats: MarkovStats::default(),
         }
     }

@@ -12,7 +12,7 @@
 //! insert, hit = swapcache take), so every system is scored by the same
 //! definitions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_obs::{Histogram, HistogramSummary};
 use hopp_types::{Nanos, Pid, Vpn};
@@ -61,7 +61,7 @@ pub struct PrefetchMetrics {
     prefetch_hits: u64,
     demand_remote: u64,
     wasted: u64,
-    pending: HashMap<(Pid, Vpn), Nanos>,
+    pending: BTreeMap<(Pid, Vpn), Nanos>,
     timeliness: Histogram,
 }
 
@@ -199,10 +199,10 @@ impl PrefetchMetrics {
         self.timeliness.merge(&other.timeliness);
         for (k, v) in &other.pending {
             match self.pending.entry(*k) {
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(*v);
                 }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
                     self.wasted += 1;
                     if *v > *e.get() {
                         e.insert(*v);

@@ -13,7 +13,7 @@
 //!   too large a `T` wastes local memory (`i ×= 1−α`). Defaults:
 //!   `α = 0.2`, `i ≤ 1K`, `T_min = 40 µs`, `T_max = 5 ms`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_types::{Nanos, Pid, Vpn};
 
@@ -126,11 +126,11 @@ pub struct PolicyStats {
 #[derive(Clone, Debug)]
 pub struct PolicyEngine {
     config: PolicyConfig,
-    offsets: HashMap<StreamId, f64>,
+    offsets: BTreeMap<StreamId, f64>,
     /// Classified windows seen per stream (huge-batch qualification).
-    confirmations: HashMap<StreamId, u32>,
+    confirmations: BTreeMap<StreamId, u32>,
     /// First page not yet covered by an issued batch, per stream.
-    batched_until: HashMap<StreamId, u64>,
+    batched_until: BTreeMap<StreamId, u64>,
     stats: PolicyStats,
 }
 
@@ -139,9 +139,9 @@ impl PolicyEngine {
     pub fn new(config: PolicyConfig) -> Self {
         PolicyEngine {
             config,
-            offsets: HashMap::new(),
-            confirmations: HashMap::new(),
-            batched_until: HashMap::new(),
+            offsets: BTreeMap::new(),
+            confirmations: BTreeMap::new(),
+            batched_until: BTreeMap::new(),
             stats: PolicyStats::default(),
         }
     }
@@ -169,7 +169,7 @@ impl PolicyEngine {
         let base = self.offset_of(window.stream).round().max(1.0) as i64;
         let vpn_a = window.vpn_a();
         let mut orders = Vec::with_capacity(self.config.intensity as usize);
-        for j in 0..self.config.intensity as i64 {
+        for j in 0..i64::from(self.config.intensity) {
             if let Some(vpn) = prediction.target(vpn_a, base + j) {
                 orders.push(PolicyOrder {
                     pid: window.pid,
@@ -262,7 +262,7 @@ impl PolicyEngine {
     /// Streams with live policy state (offset, confirmations or batch
     /// frontier) — bounded by the STT size once pruning runs.
     pub fn tracked_streams(&self) -> usize {
-        let mut ids: std::collections::HashSet<&StreamId> = self.offsets.keys().collect();
+        let mut ids: std::collections::BTreeSet<&StreamId> = self.offsets.keys().collect();
         ids.extend(self.confirmations.keys());
         ids.extend(self.batched_until.keys());
         ids.len()

@@ -33,23 +33,25 @@
 //! use hopp_obs::NopRecorder;
 //! use hopp_types::{Nanos, Pid, Vpn};
 //!
+//! # fn main() -> hopp_types::Result<()> {
 //! let mut pool = MemoryPool::new(
 //!     RdmaConfig::default(),
 //!     FabricConfig { nodes: 4, replication: 2, ..FabricConfig::default() },
-//! )
-//! .unwrap();
+//! )?;
 //! // Node 2 dies at 1 ms; replicated pages survive via failover.
-//! pool.set_fault_script(&FaultScript::parse("1:2:down").unwrap()).unwrap();
+//! pool.set_fault_script(&FaultScript::parse("1:2:down").unwrap())?;
 //! let rec = &mut NopRecorder;
-//! pool.place(Pid::new(1), Vpn::new(42), None, Nanos::ZERO, rec);
+//! pool.place(Pid::new(1), Vpn::new(42), None, Nanos::ZERO, rec)?;
 //! pool.write_page(Pid::new(1), Vpn::new(42), Nanos::ZERO, rec);
-//! let done = pool.read_page(Pid::new(1), Vpn::new(42), Nanos::from_millis(2), rec);
+//! let done = pool.read_page(Pid::new(1), Vpn::new(42), Nanos::from_millis(2), rec)?;
 //! assert!(done > Nanos::from_millis(2));
+//! # Ok(())
+//! # }
 //! ```
 
 use hopp_net::RdmaEngine;
 use hopp_obs::Recorder;
-use hopp_types::{Nanos, Pid, Vpn, PAGE_SIZE};
+use hopp_types::{Nanos, Pid, Result, Vpn, PAGE_SIZE};
 
 pub mod faults;
 pub mod placement;
@@ -70,7 +72,20 @@ pub trait RemotePool {
     /// Registers a swapped-out page with the pool. `hint` is an opaque
     /// stream identity for placement policies that co-locate streams
     /// (same value ⇒ same stream); pass `None` when unknown.
-    fn place(&mut self, pid: Pid, vpn: Vpn, hint: Option<u64>, now: Nanos, rec: &mut dyn Recorder);
+    ///
+    /// # Errors
+    ///
+    /// [`hopp_types::Error::PoolExhausted`] when no live node has room
+    /// — a capacity-planning failure the run must report, not paper
+    /// over.
+    fn place(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        hint: Option<u64>,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Result<()>;
 
     /// Forgets a page's placement (it became resident again or its
     /// swap slot was freed).
@@ -78,10 +93,26 @@ pub trait RemotePool {
 
     /// Synchronously reads one page (a major fault); returns the
     /// completion time.
-    fn read_page(&mut self, pid: Pid, vpn: Vpn, now: Nanos, rec: &mut dyn Recorder) -> Nanos;
+    ///
+    /// # Errors
+    ///
+    /// [`hopp_types::Error::PageUnreachable`] when the page's primary
+    /// and every replica are down — the data is gone.
+    fn read_page(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Result<Nanos>;
 
     /// Reads `span` consecutive pages starting at `vpn` (a prefetch);
     /// returns the time the last byte lands.
+    ///
+    /// # Errors
+    ///
+    /// [`hopp_types::Error::PageUnreachable`] when any page of the span
+    /// has lost its primary and every replica.
     fn read_span(
         &mut self,
         pid: Pid,
@@ -89,7 +120,7 @@ pub trait RemotePool {
         span: u32,
         now: Nanos,
         rec: &mut dyn Recorder,
-    ) -> Nanos;
+    ) -> Result<Nanos>;
 
     /// Writes one page back (dirty eviction, plus replication when
     /// configured); returns the completion time.
@@ -112,13 +143,20 @@ impl RemotePool for RdmaEngine {
         _hint: Option<u64>,
         _now: Nanos,
         _rec: &mut dyn Recorder,
-    ) {
+    ) -> Result<()> {
+        Ok(())
     }
 
     fn release(&mut self, _pid: Pid, _vpn: Vpn) {}
 
-    fn read_page(&mut self, _pid: Pid, _vpn: Vpn, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
-        self.issue_page_read_rec(now, rec)
+    fn read_page(
+        &mut self,
+        _pid: Pid,
+        _vpn: Vpn,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Result<Nanos> {
+        Ok(self.issue_page_read_rec(now, rec))
     }
 
     fn read_span(
@@ -128,8 +166,8 @@ impl RemotePool for RdmaEngine {
         span: u32,
         now: Nanos,
         rec: &mut dyn Recorder,
-    ) -> Nanos {
-        self.issue_read_rec(now, span.max(1) as usize * PAGE_SIZE, rec)
+    ) -> Result<Nanos> {
+        Ok(self.issue_read_rec(now, span.max(1) as usize * PAGE_SIZE, rec))
     }
 
     fn write_page(&mut self, _pid: Pid, _vpn: Vpn, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
@@ -151,15 +189,15 @@ mod tests {
         let p: &mut dyn RemotePool = &mut pool;
         let rec = &mut NopRecorder;
         let (pid, vpn) = (Pid::new(1), Vpn::new(9));
-        e.place(pid, vpn, None, Nanos::ZERO, rec);
-        p.place(pid, vpn, None, Nanos::ZERO, rec);
+        e.place(pid, vpn, None, Nanos::ZERO, rec).unwrap();
+        p.place(pid, vpn, None, Nanos::ZERO, rec).unwrap();
         assert_eq!(
-            e.read_span(pid, vpn, 16, Nanos::ZERO, rec),
-            p.read_span(pid, vpn, 16, Nanos::ZERO, rec)
+            e.read_span(pid, vpn, 16, Nanos::ZERO, rec).unwrap(),
+            p.read_span(pid, vpn, 16, Nanos::ZERO, rec).unwrap()
         );
         assert_eq!(
-            e.read_page(pid, vpn, Nanos::from_micros(50), rec),
-            p.read_page(pid, vpn, Nanos::from_micros(50), rec)
+            e.read_page(pid, vpn, Nanos::from_micros(50), rec).unwrap(),
+            p.read_page(pid, vpn, Nanos::from_micros(50), rec).unwrap()
         );
         assert_eq!(
             e.write_page(pid, vpn, Nanos::from_micros(90), rec),

@@ -16,7 +16,7 @@
 //!   stream batches onto a single link instead of paying N base
 //!   latencies on N links.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_types::{Pid, SplitMix64, Vpn};
 
@@ -75,7 +75,7 @@ pub struct Placer {
     nodes: usize,
     /// Stream-aware state: hint key → home node, assigned round-robin
     /// in first-seen order (deterministic).
-    homes: HashMap<u64, usize>,
+    homes: BTreeMap<u64, usize>,
     next_home: usize,
 }
 
@@ -86,7 +86,7 @@ impl Placer {
         Placer {
             kind,
             nodes,
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
             next_home: 0,
         }
     }

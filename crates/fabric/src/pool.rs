@@ -1,6 +1,6 @@
 //! The sharded memory pool: N nodes, placement, replication, failover.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_net::{RdmaConfig, RdmaEngine, RdmaStats};
 use hopp_obs::{Event, NodeHistograms, NodeLatencySummary, Recorder};
@@ -110,7 +110,7 @@ pub struct MemoryPool {
     config: FabricConfig,
     nodes: Vec<Node>,
     placer: Placer,
-    placements: HashMap<(Pid, Vpn), usize>,
+    placements: BTreeMap<(Pid, Vpn), usize>,
     has_faults: bool,
     failovers: u64,
     failed_writes: u64,
@@ -124,7 +124,7 @@ impl MemoryPool {
             config,
             nodes: (0..config.nodes).map(|_| Node::new(rdma)).collect(),
             placer: Placer::new(config.placement, config.nodes),
-            placements: HashMap::new(),
+            placements: BTreeMap::new(),
             has_faults: false,
             failovers: 0,
             failed_writes: 0,
@@ -133,7 +133,16 @@ impl MemoryPool {
 
     /// The degenerate single-node pool matching the paper's testbed.
     pub fn single(rdma: RdmaConfig) -> Self {
-        Self::new(rdma, FabricConfig::default()).expect("default fabric config is valid")
+        let config = FabricConfig::default();
+        MemoryPool {
+            config,
+            nodes: vec![Node::new(rdma)],
+            placer: Placer::new(config.placement, config.nodes),
+            placements: BTreeMap::new(),
+            has_faults: false,
+            failovers: 0,
+            failed_writes: 0,
+        }
     }
 
     /// Attaches a fault script; each event must name a node in range.
@@ -192,7 +201,7 @@ impl MemoryPool {
     /// healthy node this is `(true, t)` with no side effects.
     fn probe_node(&mut self, idx: usize, mut t: Nanos, rec: &mut dyn Recorder) -> (bool, Nanos) {
         let retry = self.config.retry;
-        let node_id = NodeId::new(idx as u16);
+        let node_id = NodeId::from_index(idx);
         if self.nodes[idx].health.is_lost(t) {
             if !self.nodes[idx].known_dead {
                 // Discovering a dead node costs one full timeout; the
@@ -250,7 +259,7 @@ impl MemoryPool {
     }
 
     /// Reads `bytes` of pages whose primary is `primary`, failing over
-    /// across the replica chain. Panics if every replica is dead — the
+    /// across the replica chain. Errors if every replica is dead — the
     /// data is gone and the simulation cannot honestly continue.
     fn read_from(
         &mut self,
@@ -260,7 +269,7 @@ impl MemoryPool {
         bytes: usize,
         now: Nanos,
         rec: &mut dyn Recorder,
-    ) -> Nanos {
+    ) -> Result<Nanos> {
         let n = self.config.nodes;
         let mut t = now;
         for r in 0..self.config.replication {
@@ -281,7 +290,7 @@ impl MemoryPool {
                     .link
                     .config()
                     .base_latency
-                    .scale((pct - 100) as f64 / 100.0);
+                    .scale(f64::from(pct - 100) / 100.0);
             }
             node.hists.read.record_nanos(done.saturating_since(now));
             if r > 0 {
@@ -292,18 +301,19 @@ impl MemoryPool {
                         Event::Failover {
                             pid,
                             vpn,
-                            node: NodeId::new(idx as u16),
+                            node: NodeId::from_index(idx),
                         },
                     );
                 }
             }
-            return done;
+            return Ok(done);
         }
-        panic!(
-            "page {pid}:{vpn:?} unreachable: primary node {primary} and all {} replica(s) \
-             are down; raise --replication",
-            self.config.replication
-        );
+        Err(Error::PageUnreachable {
+            pid,
+            vpn,
+            primary: NodeId::from_index(primary),
+            replication: self.config.replication,
+        })
     }
 }
 
@@ -312,7 +322,14 @@ impl RemotePool for MemoryPool {
         self.placer.wants_hints()
     }
 
-    fn place(&mut self, pid: Pid, vpn: Vpn, hint: Option<u64>, now: Nanos, rec: &mut dyn Recorder) {
+    fn place(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        hint: Option<u64>,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Result<()> {
         let n = self.config.nodes;
         let cap = self.config.node_capacity_pages;
         let mut idx = self.placer.place(pid, vpn, hint);
@@ -327,10 +344,7 @@ impl RemotePool for MemoryPool {
             probed += 1;
         }
         if probed == n {
-            panic!(
-                "memory pool exhausted: no live node with room among {n} node(s); \
-                 raise --mem-nodes or node capacity"
-            );
+            return Err(Error::PoolExhausted { nodes: n });
         }
         if let Some(old) = self.placements.insert((pid, vpn), idx) {
             self.nodes[old].placed = self.nodes[old].placed.saturating_sub(1);
@@ -342,10 +356,11 @@ impl RemotePool for MemoryPool {
                 Event::PagePlaced {
                     pid,
                     vpn,
-                    node: NodeId::new(idx as u16),
+                    node: NodeId::from_index(idx),
                 },
             );
         }
+        Ok(())
     }
 
     fn release(&mut self, pid: Pid, vpn: Vpn) {
@@ -354,7 +369,13 @@ impl RemotePool for MemoryPool {
         }
     }
 
-    fn read_page(&mut self, pid: Pid, vpn: Vpn, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
+    fn read_page(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        now: Nanos,
+        rec: &mut dyn Recorder,
+    ) -> Result<Nanos> {
         let primary = self.primary_of(pid, vpn);
         self.read_from(primary, pid, vpn, PAGE_SIZE, now, rec)
     }
@@ -366,14 +387,14 @@ impl RemotePool for MemoryPool {
         span: u32,
         now: Nanos,
         rec: &mut dyn Recorder,
-    ) -> Nanos {
+    ) -> Result<Nanos> {
         // Group the span's pages by primary node: one transfer per
         // node, completion when the last group lands. A single-node
         // pool degenerates to exactly one span-sized read.
         let n = self.config.nodes;
         let mut per_node = vec![0u32; n];
         for i in 0..span.max(1) {
-            let v = vpn.offset_saturating(i as i64);
+            let v = vpn.offset_saturating(i64::from(i));
             per_node[self.primary_of(pid, v)] += 1;
         }
         let mut done = now;
@@ -381,10 +402,10 @@ impl RemotePool for MemoryPool {
             if pages == 0 {
                 continue;
             }
-            let d = self.read_from(idx, pid, vpn, pages as usize * PAGE_SIZE, now, rec);
+            let d = self.read_from(idx, pid, vpn, pages as usize * PAGE_SIZE, now, rec)?;
             done = done.max(d);
         }
-        done
+        Ok(done)
     }
 
     fn write_page(&mut self, pid: Pid, vpn: Vpn, now: Nanos, rec: &mut dyn Recorder) -> Nanos {
@@ -408,7 +429,7 @@ impl RemotePool for MemoryPool {
                     .link
                     .config()
                     .base_latency
-                    .scale((pct - 100) as f64 / 100.0);
+                    .scale(f64::from(pct - 100) / 100.0);
             }
             node.hists.write.record_nanos(d.saturating_since(now));
             done = Some(done.map_or(d, |x| x.max(d)));
@@ -471,7 +492,7 @@ impl MemoryPool {
                 .iter()
                 .enumerate()
                 .map(|(i, n)| NodeReport {
-                    node: NodeId::new(i as u16),
+                    node: NodeId::from_index(i),
                     link: n.link.stats(),
                     placed: n.placed,
                     retries: n.retries,
@@ -533,11 +554,14 @@ mod tests {
         let mut t = Nanos::ZERO;
         for i in 0..50u64 {
             let vpn = Vpn::new(i * 7);
-            p.place(pid, vpn, None, t, rec);
+            p.place(pid, vpn, None, t, rec).unwrap();
             match i % 3 {
-                0 => assert_eq!(p.read_page(pid, vpn, t, rec), e.issue_page_read_rec(t, rec)),
+                0 => assert_eq!(
+                    p.read_page(pid, vpn, t, rec).unwrap(),
+                    e.issue_page_read_rec(t, rec)
+                ),
                 1 => assert_eq!(
-                    p.read_span(pid, vpn, 8, t, rec),
+                    p.read_span(pid, vpn, 8, t, rec).unwrap(),
                     e.issue_read_rec(t, 8 * PAGE_SIZE, rec)
                 ),
                 _ => assert_eq!(
@@ -566,7 +590,7 @@ mod tests {
         let healthy =
             RdmaConfig::default().base_latency + RdmaConfig::default().serialization(PAGE_SIZE);
         let t0 = Nanos::from_millis(1);
-        let d1 = p.read_page(pid, vpn, t0, rec);
+        let d1 = p.read_page(pid, vpn, t0, rec).unwrap();
         // First read pays the discovery timeout, then the replica read.
         assert_eq!(
             d1,
@@ -575,7 +599,7 @@ mod tests {
         );
         // The pool remembers the dead node: no second timeout.
         let t1 = Nanos::from_millis(2);
-        let d2 = p.read_page(pid, vpn, t1, rec);
+        let d2 = p.read_page(pid, vpn, t1, rec).unwrap();
         assert_eq!(d2, t1 + healthy);
         let rep = p.report(Nanos::from_millis(3));
         assert_eq!(rep.failovers, 2);
@@ -601,7 +625,9 @@ mod tests {
         let healthy =
             RdmaConfig::default().base_latency + RdmaConfig::default().serialization(PAGE_SIZE);
         let retry = p.config().retry;
-        let d = p.read_page(Pid::new(1), Vpn::new(5), Nanos::ZERO, rec);
+        let d = p
+            .read_page(Pid::new(1), Vpn::new(5), Nanos::ZERO, rec)
+            .unwrap();
         assert_eq!(d, retry.timeout + retry.backoff_after(1) + healthy);
         let rep = p.report(Nanos::from_millis(1));
         assert_eq!(rep.nodes[0].retries, 1);
@@ -609,17 +635,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unreachable")]
-    fn losing_every_replica_fails_loudly() {
+    fn losing_every_replica_is_a_typed_error() {
         let mut p = pool(2, 2);
         p.set_fault_script(&FaultScript::parse("0:0:down,0:1:down").unwrap())
             .unwrap();
-        let _ = p.read_page(
-            Pid::new(1),
-            Vpn::new(1),
-            Nanos::from_millis(1),
-            &mut NopRecorder,
+        let err = p
+            .read_page(
+                Pid::new(1),
+                Vpn::new(1),
+                Nanos::from_millis(1),
+                &mut NopRecorder,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::PageUnreachable {
+                    pid,
+                    vpn,
+                    replication: 2,
+                    ..
+                } if pid == Pid::new(1) && vpn == Vpn::new(1)
+            ),
+            "got {err:?}"
         );
+        assert!(err.to_string().contains("unreachable"));
     }
 
     #[test]
@@ -638,7 +678,9 @@ mod tests {
         let rec = &mut NopRecorder;
         let cfg = RdmaConfig::default();
         let healthy = cfg.base_latency + cfg.serialization(PAGE_SIZE);
-        let d = p.read_page(Pid::new(1), Vpn::new(1), Nanos::ZERO, rec);
+        let d = p
+            .read_page(Pid::new(1), Vpn::new(1), Nanos::ZERO, rec)
+            .unwrap();
         assert_eq!(d, healthy + cfg.base_latency.scale(3.0));
     }
 
@@ -659,7 +701,7 @@ mod tests {
         // 8 pages in one region would all target one node; capacity 4
         // forces half onto the other.
         for v in 0..8u64 {
-            p.place(pid, Vpn::new(v), None, Nanos::ZERO, rec);
+            p.place(pid, Vpn::new(v), None, Nanos::ZERO, rec).unwrap();
         }
         let rep = p.report(Nanos::ZERO);
         assert_eq!(rep.nodes[0].placed + rep.nodes[1].placed, 8);
@@ -668,8 +710,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "memory pool exhausted")]
-    fn pool_wide_exhaustion_fails_loudly() {
+    fn pool_wide_exhaustion_is_a_typed_error() {
         let mut p = MemoryPool::new(
             RdmaConfig::default(),
             FabricConfig {
@@ -679,15 +720,27 @@ mod tests {
             },
         )
         .unwrap();
-        for v in 0..3u64 {
+        for v in 0..2u64 {
             p.place(
                 Pid::new(1),
                 Vpn::new(v),
                 None,
                 Nanos::ZERO,
                 &mut NopRecorder,
-            );
+            )
+            .unwrap();
         }
+        let err = p
+            .place(
+                Pid::new(1),
+                Vpn::new(2),
+                None,
+                Nanos::ZERO,
+                &mut NopRecorder,
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::PoolExhausted { nodes: 2 });
+        assert!(err.to_string().contains("memory pool exhausted"));
     }
 
     #[test]
@@ -702,9 +755,11 @@ mod tests {
         )
         .unwrap();
         let rec = &mut NopRecorder;
-        p.place(Pid::new(1), Vpn::new(1), None, Nanos::ZERO, rec);
+        p.place(Pid::new(1), Vpn::new(1), None, Nanos::ZERO, rec)
+            .unwrap();
         p.release(Pid::new(1), Vpn::new(1));
-        p.place(Pid::new(1), Vpn::new(2), None, Nanos::ZERO, rec);
+        p.place(Pid::new(1), Vpn::new(2), None, Nanos::ZERO, rec)
+            .unwrap();
         let rep = p.report(Nanos::ZERO);
         assert_eq!(rep.nodes[0].placed, 1);
     }
@@ -725,9 +780,11 @@ mod tests {
         // Place 4 pages straddling a region boundary: 2 per node.
         let base = 510u64;
         for v in base..base + 4 {
-            p.place(pid, Vpn::new(v), None, Nanos::ZERO, rec);
+            p.place(pid, Vpn::new(v), None, Nanos::ZERO, rec).unwrap();
         }
-        let done = p.read_span(pid, Vpn::new(base), 4, Nanos::ZERO, rec);
+        let done = p
+            .read_span(pid, Vpn::new(base), 4, Nanos::ZERO, rec)
+            .unwrap();
         let cfg = RdmaConfig::default();
         // Each node serves 2 pages concurrently on its own link.
         assert_eq!(done, cfg.base_latency + cfg.serialization(2 * PAGE_SIZE));

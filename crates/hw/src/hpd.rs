@@ -201,6 +201,7 @@ impl HotPageDetector {
         let victim = set
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            // hopp-check: allow(panic-policy): HpdConfig::validate rejects zero ways at construction
             .expect("ways >= 1 validated");
         if victim.valid {
             if victim.sent {

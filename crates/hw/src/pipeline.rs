@@ -216,7 +216,11 @@ mod tests {
     fn feed_reads(mc: &mut McPipeline, ppn: Ppn, count: u8) -> Vec<HotPage> {
         (0..count)
             .filter_map(|i| {
-                mc.on_llc_miss(ppn.line(i), AccessKind::Read, Nanos::from_nanos(i as u64))
+                mc.on_llc_miss(
+                    ppn.line(i),
+                    AccessKind::Read,
+                    Nanos::from_nanos(u64::from(i)),
+                )
             })
             .collect()
     }
@@ -292,7 +296,7 @@ mod tests {
                 mc.on_llc_miss_rec(
                     Ppn::new(4).line(i),
                     AccessKind::Read,
-                    Nanos::from_nanos(i as u64),
+                    Nanos::from_nanos(u64::from(i)),
                     sink,
                 );
             }

@@ -14,7 +14,7 @@
 //! only updated lazily when the cache writes back dirty entries, as in
 //! the paper.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_mem::PteListener;
 use hopp_types::{Error, PageFlags, Pid, Ppn, Result, Vpn};
@@ -154,7 +154,7 @@ const INVALID_WAY: CacheWay = CacheWay {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReversePageTable {
-    dram: HashMap<Ppn, RptEntry>,
+    dram: BTreeMap<Ppn, RptEntry>,
     sets: Vec<Vec<CacheWay>>,
     set_mask: u64,
     clock: u64,
@@ -170,7 +170,7 @@ impl ReversePageTable {
     pub fn new(config: RptCacheConfig) -> Result<Self> {
         let sets = config.sets()?;
         Ok(ReversePageTable {
-            dram: HashMap::new(),
+            dram: BTreeMap::new(),
             sets: vec![vec![INVALID_WAY; config.ways]; sets],
             set_mask: sets as u64 - 1,
             clock: 0,
@@ -225,6 +225,7 @@ impl ReversePageTable {
             .enumerate()
             .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
             .map(|(i, _)| i)
+            // hopp-check: allow(panic-policy): RptCacheConfig::validate rejects zero ways at construction
             .expect("ways >= 1 validated");
         let victim = set[victim_idx];
         if victim.valid && victim.dirty {

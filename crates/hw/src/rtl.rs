@@ -186,6 +186,7 @@ impl HpdRtl {
                             u16::MAX // invalid ways first
                         }
                     })
+                    // hopp-check: allow(panic-policy): the RTL geometry is validated to >= 1 way at construction
                     .expect("ways >= 1");
                 self.entries[set][victim] = PackedEntry::new(req.ppn);
                 self.entries[set][victim].set_count(1);
@@ -251,7 +252,7 @@ impl HpdRtl {
     /// geometry.
     pub fn state_bits(&self) -> u64 {
         let entries = (self.config.ways * self.config.sets) as u64;
-        entries * (PPN_BITS + COUNT_BITS + 2) as u64 + entries * AGE_BITS as u64
+        entries * u64::from(PPN_BITS + COUNT_BITS + 2) + entries * u64::from(AGE_BITS)
     }
 }
 

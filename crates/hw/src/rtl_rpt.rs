@@ -46,6 +46,7 @@ impl PackedRptEntry {
     /// Unpacks back to the behavioural representation.
     pub fn unpack(self) -> RptEntry {
         RptEntry {
+            // hopp-check: allow(unit-hygiene): unpacking the RTL entry's 16-bit PID bitfield, not converting units
             pid: Pid::new((self.0 >> 43) as u16),
             vpn: Vpn::new((self.0 >> 3) & ((1 << 40) - 1)),
             flags: PageFlags {
@@ -246,6 +247,7 @@ impl RptRtl {
                     u16::MAX
                 }
             })
+            // hopp-check: allow(panic-policy): the RTL geometry is validated to >= 1 way at construction
             .expect("ways >= 1");
         let old = set[victim];
         if old.valid && old.dirty {

@@ -9,7 +9,7 @@
 //! time, while an unconsumed swapcache page sits on the inactive list
 //! and is cheap to drop.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use hopp_types::Ppn;
 
@@ -42,7 +42,7 @@ pub enum LruTier {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LruLists {
-    stamps: HashMap<Ppn, (u64, LruTier)>,
+    stamps: BTreeMap<Ppn, (u64, LruTier)>,
     active: BTreeMap<u64, Ppn>,
     inactive: BTreeMap<u64, Ppn>,
     counter: u64,
@@ -116,6 +116,7 @@ impl LruLists {
     /// [`Event::Reclaim`]: hopp_obs::Event::Reclaim
     pub fn pop_evict_from(&mut self) -> Option<(Ppn, LruTier)> {
         let ppn = self.evict_candidate()?;
+        // hopp-check: allow(panic-policy): evict_candidate just returned this page from one of the two lists
         let tier = self.tier_of(ppn).expect("candidate is tracked");
         self.remove(ppn);
         Some((ppn, tier))

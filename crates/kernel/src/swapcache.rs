@@ -7,7 +7,7 @@
 //! injection turns would-be prefetch-hits into plain DRAM hits), which
 //! is one of its headline wins (§II-C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_types::{Nanos, Pid, Ppn, SwapSlot, Vpn};
 
@@ -61,7 +61,7 @@ pub struct SwapCacheStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SwapCache {
-    entries: HashMap<(Pid, Vpn), CacheEntry>,
+    entries: BTreeMap<(Pid, Vpn), CacheEntry>,
     stats: SwapCacheStats,
 }
 

@@ -52,7 +52,7 @@ impl FrameAllocator {
     /// caller (the kernel) is expected to reclaim first.
     pub fn alloc(&mut self, pid: Pid, vpn: Vpn) -> Result<Ppn> {
         let ppn = self.free.pop().ok_or(Error::OutOfFrames)?;
-        self.owner[ppn.raw() as usize] = Some((pid, vpn));
+        self.owner[ppn.index()] = Some((pid, vpn));
         Ok(ppn)
     }
 
@@ -64,7 +64,7 @@ impl FrameAllocator {
     pub fn free(&mut self, ppn: Ppn) -> Result<()> {
         let slot = self
             .owner
-            .get_mut(ppn.raw() as usize)
+            .get_mut(ppn.index())
             .ok_or(Error::FrameNotOwned { ppn })?;
         if slot.take().is_none() {
             return Err(Error::FrameNotOwned { ppn });
@@ -75,7 +75,7 @@ impl FrameAllocator {
 
     /// The `(pid, vpn)` that owns `ppn`, if allocated.
     pub fn owner(&self, ppn: Ppn) -> Option<(Pid, Vpn)> {
-        self.owner.get(ppn.raw() as usize).copied().flatten()
+        self.owner.get(ppn.index()).copied().flatten()
     }
 
     /// Iterates over all allocated frames and their owners, in frame
@@ -84,7 +84,7 @@ impl FrameAllocator {
         self.owner
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.map(|(pid, vpn)| (Ppn::new(i as u64), pid, vpn)))
+            .filter_map(|(i, o)| o.map(|(pid, vpn)| (Ppn::from_index(i), pid, vpn)))
     }
 }
 

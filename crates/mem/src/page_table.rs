@@ -1,6 +1,6 @@
 //! Per-process page tables and the PTE-update hook interface.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopp_types::{Pid, Ppn, SwapSlot, Vpn};
 
@@ -46,10 +46,10 @@ impl PteListener for () {
 
 impl<L: PteListener + ?Sized> PteListener for &mut L {
     fn pte_set(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
-        (**self).pte_set(pid, vpn, ppn)
+        (**self).pte_set(pid, vpn, ppn);
     }
     fn pte_clear(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
-        (**self).pte_clear(pid, vpn, ppn)
+        (**self).pte_clear(pid, vpn, ppn);
     }
 }
 
@@ -61,7 +61,7 @@ impl<L: PteListener + ?Sized> PteListener for &mut L {
 #[derive(Clone, Debug)]
 pub struct AddressSpace {
     pid: Pid,
-    map: HashMap<Vpn, Mapping>,
+    map: BTreeMap<Vpn, Mapping>,
     resident: usize,
 }
 
@@ -70,7 +70,7 @@ impl AddressSpace {
     pub fn new(pid: Pid) -> Self {
         AddressSpace {
             pid,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             resident: 0,
         }
     }

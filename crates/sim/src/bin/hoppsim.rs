@@ -26,6 +26,13 @@ struct Args {
     footprint: u64,
     seed: u64,
     channels: usize,
+    llc_kb: Option<usize>,
+    llc_hit_ns: Option<u64>,
+    hpd_threshold: Option<u32>,
+    rpt_kb: Option<usize>,
+    slack_frames: Option<usize>,
+    reclaim_cost_ns: Option<u64>,
+    direct_reclaim: bool,
     intensity: u32,
     huge_batch: bool,
     markov: bool,
@@ -56,6 +63,13 @@ impl Default for Args {
             footprint: 4_096,
             seed: 42,
             channels: 1,
+            llc_kb: None,
+            llc_hit_ns: None,
+            hpd_threshold: None,
+            rpt_kb: None,
+            slack_frames: None,
+            reclaim_cost_ns: None,
+            direct_reclaim: false,
             intensity: 1,
             huge_batch: false,
             markov: false,
@@ -111,6 +125,13 @@ fn usage() -> ! {
          \n  --footprint <pages>  heap size in 4 KB pages (default 4096)\
          \n  --seed <n>           workload RNG seed (default 42)\
          \n  --channels <n>       interleaved memory channels (default 1)\
+         \n  --llc-kb <n>         LLC capacity in KiB (default 2048)\
+         \n  --llc-hit-ns <n>     LLC hit cost in ns (default 1)\
+         \n  --hpd-threshold <n>  HPD hot-page threshold N (default 16)\
+         \n  --rpt-kb <n>         RPT cache capacity in KiB (default 64)\
+         \n  --slack-frames <n>   frame headroom beyond cgroup limits (default 512)\
+         \n  --reclaim-cost-ns <n> per-page reclaim cost in ns (default 3000)\
+         \n  --direct-reclaim     charge reclaim to the faulting path (pre-v5.8)\
          \n  --intensity <n>      pages per hot page (hopp only, default 1)\
          \n  --offset <i>         pin the prefetch offset (hopp only)\
          \n  --huge-batch         enable 2 MB batched prefetch (hopp only)\
@@ -157,15 +178,38 @@ fn parse_args() -> Args {
             "--system" => args.system = value("--system"),
             "--ratio" => args.ratio = value("--ratio").parse().unwrap_or_else(|_| usage()),
             "--footprint" => {
-                args.footprint = value("--footprint").parse().unwrap_or_else(|_| usage())
+                args.footprint = value("--footprint").parse().unwrap_or_else(|_| usage());
             }
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--channels" => args.channels = value("--channels").parse().unwrap_or_else(|_| usage()),
+            "--llc-kb" => {
+                args.llc_kb = Some(value("--llc-kb").parse().unwrap_or_else(|_| usage()));
+            }
+            "--llc-hit-ns" => {
+                args.llc_hit_ns = Some(value("--llc-hit-ns").parse().unwrap_or_else(|_| usage()));
+            }
+            "--hpd-threshold" => {
+                args.hpd_threshold =
+                    Some(value("--hpd-threshold").parse().unwrap_or_else(|_| usage()));
+            }
+            "--rpt-kb" => args.rpt_kb = Some(value("--rpt-kb").parse().unwrap_or_else(|_| usage())),
+            "--slack-frames" => {
+                args.slack_frames =
+                    Some(value("--slack-frames").parse().unwrap_or_else(|_| usage()));
+            }
+            "--reclaim-cost-ns" => {
+                args.reclaim_cost_ns = Some(
+                    value("--reclaim-cost-ns")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--direct-reclaim" => args.direct_reclaim = true,
             "--intensity" => {
-                args.intensity = value("--intensity").parse().unwrap_or_else(|_| usage())
+                args.intensity = value("--intensity").parse().unwrap_or_else(|_| usage());
             }
             "--offset" => {
-                args.fixed_offset = Some(value("--offset").parse().unwrap_or_else(|_| usage()))
+                args.fixed_offset = Some(value("--offset").parse().unwrap_or_else(|_| usage()));
             }
             "--huge-batch" => args.huge_batch = true,
             "--markov" => args.markov = true,
@@ -184,7 +228,7 @@ fn parse_args() -> Args {
                 };
             }
             "--mem-nodes" => {
-                args.mem_nodes = value("--mem-nodes").parse().unwrap_or_else(|_| usage())
+                args.mem_nodes = value("--mem-nodes").parse().unwrap_or_else(|_| usage());
             }
             "--placement" => {
                 let v = value("--placement");
@@ -194,7 +238,7 @@ fn parse_args() -> Args {
                 });
             }
             "--replication" => {
-                args.replication = value("--replication").parse().unwrap_or_else(|_| usage())
+                args.replication = value("--replication").parse().unwrap_or_else(|_| usage());
             }
             "--fault-script" => {
                 let v = value("--fault-script");
@@ -209,24 +253,24 @@ fn parse_args() -> Args {
                     value("--reclaim-window")
                         .parse()
                         .unwrap_or_else(|_| usage()),
-                )
+                );
             }
             "--remote-capacity" => {
                 args.remote_capacity = Some(
                     value("--remote-capacity")
                         .parse()
                         .unwrap_or_else(|_| usage()),
-                )
+                );
             }
             "--timeline" => {
-                args.timeline = Some(value("--timeline").parse().unwrap_or_else(|_| usage()))
+                args.timeline = Some(value("--timeline").parse().unwrap_or_else(|_| usage()));
             }
             "--obs-level" => {
                 let v = value("--obs-level");
                 args.obs_level = Some(ObsLevel::parse(&v).unwrap_or_else(|| {
                     eprintln!("unknown obs level {v:?} (off | counters | full)");
                     usage()
-                }))
+                }));
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
@@ -287,6 +331,15 @@ fn system_of(args: &Args) -> SystemConfig {
             usage();
         }
     }
+}
+
+/// A fatal run error (lost page, exhausted pool) ends the CLI with the
+/// error's full context on stderr and a non-zero exit code. Takes the
+/// error by value to slot into `unwrap_or_else` directly.
+#[allow(clippy::needless_pass_by_value)]
+fn fail_run(e: hopp_types::Error) -> SimReport {
+    eprintln!("run failed: {e}");
+    std::process::exit(1);
 }
 
 fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
@@ -456,7 +509,7 @@ fn main() {
         None if args.timeline_out.is_some() => 1_000,
         None => 0,
     };
-    let config = SimConfig {
+    let mut config = SimConfig {
         channels: args.channels,
         rdma: if args.volatile {
             hopp_net::RdmaConfig::volatile()
@@ -474,15 +527,34 @@ fn main() {
         remote_capacity_pages: args.remote_capacity,
         timeline_every,
         obs_level,
+        reclaim_in_advance: !args.direct_reclaim,
         ..SimConfig::with_system(system)
     };
+    if let Some(kb) = args.llc_kb {
+        config.llc.capacity_bytes = kb * 1024;
+    }
+    if let Some(ns) = args.llc_hit_ns {
+        config.llc_hit = hopp_types::Nanos::from_nanos(ns);
+    }
+    if let Some(n) = args.hpd_threshold {
+        config.hpd = hopp_hw::HpdConfig::with_threshold(n);
+    }
+    if let Some(kb) = args.rpt_kb {
+        config.rpt = hopp_hw::RptCacheConfig::with_kib(kb);
+    }
+    if let Some(n) = args.slack_frames {
+        config.slack_frames = n;
+    }
+    if let Some(ns) = args.reclaim_cost_ns {
+        config.latency.reclaim_per_page = hopp_types::Nanos::from_nanos(ns);
+    }
 
     if let Some(path) = &args.replay {
         let accesses = hopp_trace::pagefile::load_file(path).unwrap_or_else(|e| {
             eprintln!("replay failed: {e}");
             std::process::exit(1);
         });
-        let distinct: std::collections::HashSet<u64> =
+        let distinct: std::collections::BTreeSet<u64> =
             accesses.iter().map(|a| a.vpn.raw()).collect();
         let pid = accesses
             .first()
@@ -499,21 +571,24 @@ fn main() {
             stream: Box::new(hopp_trace::TraceFileStream::new(accesses)),
             limit_pages: limit,
         };
-        let mut sim =
-            hopp_sim::Simulator::new(config, vec![app]).expect("valid replay configuration");
+        let mut sim = hopp_sim::Simulator::new(config, vec![app]).unwrap_or_else(|e| {
+            eprintln!("bad configuration: {e}");
+            std::process::exit(2);
+        });
         if let Some(script) = &args.fault_script {
             sim.set_fault_script(script).unwrap_or_else(|e| {
                 eprintln!("bad fault script: {e}");
                 std::process::exit(2);
             });
         }
-        let report = sim.run();
+        let report = sim.run().unwrap_or_else(fail_run);
         // Normalized against an all-local replay of the same trace.
         let local_app = hopp_sim::AppSpec {
             pid,
-            stream: Box::new(
-                hopp_trace::TraceFileStream::open(path).expect("replay file re-opens"),
-            ),
+            stream: Box::new(hopp_trace::TraceFileStream::open(path).unwrap_or_else(|e| {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            })),
             limit_pages: distinct.len() + 64,
         };
         let local = hopp_sim::Simulator::new(
@@ -522,14 +597,18 @@ fn main() {
             )),
             vec![local_app],
         )
-        .expect("valid local replay configuration")
-        .run();
+        .unwrap_or_else(|e| {
+            eprintln!("bad configuration: {e}");
+            std::process::exit(2);
+        })
+        .run()
+        .unwrap_or_else(fail_run);
         print_report(&args, local.completion.as_nanos() as f64, &report);
         write_outputs(&args, &report);
         return;
     }
 
-    let local = run_local(args.workload, args.footprint, args.seed);
+    let local = run_local(args.workload, args.footprint, args.seed).unwrap_or_else(fail_run);
     let report = match &args.fault_script {
         Some(script) => run_workload_with_faults(
             config,
@@ -540,7 +619,8 @@ fn main() {
             script,
         ),
         None => run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio),
-    };
+    }
+    .unwrap_or_else(fail_run);
     print_report(&args, local.completion.as_nanos() as f64, &report);
     write_outputs(&args, &report);
 }

@@ -31,12 +31,15 @@
 //! use hopp_sim::{run_workload, BaselineKind, SystemConfig};
 //! use hopp_workloads::WorkloadKind;
 //!
+//! # fn main() -> hopp_types::Result<()> {
 //! // K-means with half its footprint remote, under Fastswap vs HoPP.
 //! let fs = run_workload(WorkloadKind::Kmeans, 1_024, 7,
-//!                       SystemConfig::Baseline(BaselineKind::Fastswap), 0.5);
+//!                       SystemConfig::Baseline(BaselineKind::Fastswap), 0.5)?;
 //! let hopp = run_workload(WorkloadKind::Kmeans, 1_024, 7,
-//!                         SystemConfig::hopp_default(), 0.5);
+//!                         SystemConfig::hopp_default(), 0.5)?;
 //! assert!(hopp.completion <= fs.completion);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod config;

@@ -5,7 +5,7 @@
 //! local memory; *speedup* (§VI-D) is `1 − CT_system / CT_Fastswap`.
 
 use hopp_fabric::FaultScript;
-use hopp_types::Pid;
+use hopp_types::{Pid, Result};
 use hopp_workloads::WorkloadKind;
 
 use crate::config::{AppSpec, BaselineKind, SimConfig, SystemConfig};
@@ -18,17 +18,22 @@ pub const SOLO_PID: Pid = Pid::new(1);
 /// Runs `kind` with its local memory limited to `mem_ratio` of the
 /// footprint under the given system.
 ///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors (lost
+/// pages, exhausted pools).
+///
 /// # Panics
 ///
-/// Panics if `mem_ratio` is not within `(0, +∞)` or the configuration
-/// is invalid (these are programming errors in experiment code).
+/// Panics if `mem_ratio` is not within `(0, +∞)` (a programming error
+/// in experiment code).
 pub fn run_workload(
     kind: WorkloadKind,
     footprint_pages: u64,
     seed: u64,
     system: SystemConfig,
     mem_ratio: f64,
-) -> SimReport {
+) -> Result<SimReport> {
     run_workload_with(
         SimConfig::with_system(system),
         kind,
@@ -40,16 +45,20 @@ pub fn run_workload(
 
 /// [`run_workload`] with full control over the machine configuration.
 ///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors.
+///
 /// # Panics
 ///
-/// Panics on invalid configuration (experiment-code bug).
+/// Panics if `mem_ratio` is not positive (experiment-code bug).
 pub fn run_workload_with(
     config: SimConfig,
     kind: WorkloadKind,
     footprint_pages: u64,
     seed: u64,
     mem_ratio: f64,
-) -> SimReport {
+) -> Result<SimReport> {
     assert!(mem_ratio > 0.0, "memory ratio must be positive");
     let limit = ((footprint_pages as f64 * mem_ratio).ceil() as usize).max(64);
     let app = AppSpec {
@@ -57,19 +66,24 @@ pub fn run_workload_with(
         stream: kind.build(SOLO_PID, footprint_pages, seed),
         limit_pages: limit,
     };
-    Simulator::new(config, vec![app])
-        .expect("valid experiment configuration")
-        .run()
+    Simulator::new(config, vec![app])?.run()
 }
 
 /// [`run_workload_with`] plus a deterministic [`FaultScript`] attached
 /// to the memory pool before the run starts: the same script against
 /// the same seed replays byte-identically.
 ///
+/// # Errors
+///
+/// Returns configuration validation errors, a script naming a node
+/// outside the pool, and fatal run errors — a fault-injection run that
+/// loses every replica of a page reports
+/// [`hopp_types::Error::PageUnreachable`] with the page and node
+/// context instead of panicking.
+///
 /// # Panics
 ///
-/// Panics on invalid configuration or a script naming a node outside
-/// the pool (experiment-code bugs).
+/// Panics if `mem_ratio` is not positive (experiment-code bug).
 pub fn run_workload_with_faults(
     config: SimConfig,
     kind: WorkloadKind,
@@ -77,7 +91,7 @@ pub fn run_workload_with_faults(
     seed: u64,
     mem_ratio: f64,
     script: &FaultScript,
-) -> SimReport {
+) -> Result<SimReport> {
     assert!(mem_ratio > 0.0, "memory ratio must be positive");
     let limit = ((footprint_pages as f64 * mem_ratio).ceil() as usize).max(64);
     let app = AppSpec {
@@ -85,15 +99,18 @@ pub fn run_workload_with_faults(
         stream: kind.build(SOLO_PID, footprint_pages, seed),
         limit_pages: limit,
     };
-    let mut sim = Simulator::new(config, vec![app]).expect("valid experiment configuration");
-    sim.set_fault_script(script)
-        .expect("fault script fits the pool");
+    let mut sim = Simulator::new(config, vec![app])?;
+    sim.set_fault_script(script)?;
     sim.run()
 }
 
 /// The all-local reference run (`CT_local`): limit ≥ footprint, no
 /// prefetching.
-pub fn run_local(kind: WorkloadKind, footprint_pages: u64, seed: u64) -> SimReport {
+///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors.
+pub fn run_local(kind: WorkloadKind, footprint_pages: u64, seed: u64) -> Result<SimReport> {
     run_workload(
         kind,
         footprint_pages,
@@ -104,20 +121,30 @@ pub fn run_local(kind: WorkloadKind, footprint_pages: u64, seed: u64) -> SimRepo
 }
 
 /// Normalized performance `CT_local / CT_system` for one configuration.
+///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors from
+/// either run.
 pub fn normalized_performance(
     kind: WorkloadKind,
     footprint_pages: u64,
     seed: u64,
     system: SystemConfig,
     mem_ratio: f64,
-) -> f64 {
-    let local = run_local(kind, footprint_pages, seed);
-    let sys = run_workload(kind, footprint_pages, seed, system, mem_ratio);
-    local.completion.as_nanos() as f64 / sys.completion.as_nanos() as f64
+) -> Result<f64> {
+    let local = run_local(kind, footprint_pages, seed)?;
+    let sys = run_workload(kind, footprint_pages, seed, system, mem_ratio)?;
+    Ok(local.completion.as_nanos() as f64 / sys.completion.as_nanos() as f64)
 }
 
 /// Completion-time speedup of `system` over a reference system
 /// (`1 − CT_system / CT_reference`, §VI-D; positive is faster).
+///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors from
+/// either run.
 pub fn speedup_over(
     kind: WorkloadKind,
     footprint_pages: u64,
@@ -125,10 +152,10 @@ pub fn speedup_over(
     system: SystemConfig,
     reference: SystemConfig,
     mem_ratio: f64,
-) -> f64 {
-    let sys = run_workload(kind, footprint_pages, seed, system, mem_ratio);
-    let base = run_workload(kind, footprint_pages, seed, reference, mem_ratio);
-    1.0 - sys.completion.as_nanos() as f64 / base.completion.as_nanos() as f64
+) -> Result<f64> {
+    let sys = run_workload(kind, footprint_pages, seed, system, mem_ratio)?;
+    let base = run_workload(kind, footprint_pages, seed, reference, mem_ratio)?;
+    Ok(1.0 - sys.completion.as_nanos() as f64 / base.completion.as_nanos() as f64)
 }
 
 #[cfg(test)]
@@ -143,13 +170,14 @@ mod tests {
             3,
             SystemConfig::Baseline(BaselineKind::Fastswap),
             0.5,
-        );
+        )
+        .unwrap();
         assert!(np > 0.0 && np <= 1.0, "np = {np}");
     }
 
     #[test]
     fn local_run_is_full_speed() {
-        let r = run_local(WorkloadKind::Kmeans, 1_024, 3);
+        let r = run_local(WorkloadKind::Kmeans, 1_024, 3).unwrap();
         assert_eq!(r.counters.major_faults, 0);
     }
 
@@ -162,7 +190,8 @@ mod tests {
             SystemConfig::hopp_default(),
             SystemConfig::Baseline(BaselineKind::Fastswap),
             0.5,
-        );
+        )
+        .unwrap();
         assert!(s > 0.0, "speedup {s}");
     }
 }

@@ -1,7 +1,7 @@
 //! The event loop: one simulated compute node, its kernel, the MC
 //! hardware pipeline and a remote memory node behind an RDMA link.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use hopp_core::exec::ExecutionEngine;
 use hopp_core::metrics::PrefetchMetrics;
@@ -35,7 +35,7 @@ struct HoppRuntime {
     exec: ExecutionEngine,
     /// Injected pages awaiting their first hit: routes timeliness
     /// feedback and per-tier accounting.
-    injected: HashMap<(Pid, Vpn), (hopp_core::StreamId, Tier)>,
+    injected: BTreeMap<(Pid, Vpn), (hopp_core::StreamId, Tier)>,
     metrics: PrefetchMetrics,
     tier_metrics: [PrefetchMetrics; 3],
 }
@@ -64,9 +64,9 @@ pub struct Simulator {
     llc: LastLevelCache,
     mc: McPipeline,
     frames: FrameAllocator,
-    spaces: HashMap<Pid, AddressSpace>,
-    lrus: HashMap<Pid, LruLists>,
-    cgroups: HashMap<Pid, Cgroup>,
+    spaces: BTreeMap<Pid, AddressSpace>,
+    lrus: BTreeMap<Pid, LruLists>,
+    cgroups: BTreeMap<Pid, Cgroup>,
     swapcache: SwapCache,
     swapdev: SwapDevice,
     /// The remote side: a single link in the paper's configuration, a
@@ -75,22 +75,22 @@ pub struct Simulator {
     /// Per-region stream identity for stream-aware placement, harvested
     /// from HoPP prefetch orders. Maintained only when the placement
     /// policy asks for hints.
-    stream_hints: HashMap<(Pid, u64), u64>,
+    stream_hints: BTreeMap<(Pid, u64), u64>,
     baseline: Box<dyn Prefetcher>,
     /// Uncharged swapcache pages, reclaimed first under global
     /// pressure (the kernel's inactive file/anon behaviour).
     sc_lru: LruLists,
     base_metrics: PrefetchMetrics,
-    base_inflight: HashMap<(Pid, Vpn), Nanos>,
+    base_inflight: BTreeMap<(Pid, Vpn), Nanos>,
     base_cq: CompletionQueue<BaseArrival>,
     hopp: Option<HoppRuntime>,
-    hopp_inflight: HashMap<(Pid, Vpn), Nanos>,
+    hopp_inflight: BTreeMap<(Pid, Vpn), Nanos>,
     apps: Vec<(Pid, AppRuntime)>,
     counters: Counters,
     prefetch_buf: Vec<hopp_kernel::PrefetchRequest>,
     /// Last time each resident frame was reported hot by the MC
     /// (consulted by trace-assisted reclaim, §IV).
-    last_hot: HashMap<Ppn, Nanos>,
+    last_hot: BTreeMap<Ppn, Nanos>,
     timeline: Vec<TimelineSample>,
     /// Event recorder (`Off` below [`hopp_obs::ObsLevel::Full`]).
     /// Stored by value so instrumented callees can borrow it disjointly
@@ -116,9 +116,9 @@ impl Simulator {
     pub fn new(config: SimConfig, apps: Vec<AppSpec>) -> Result<Self> {
         let llc = LastLevelCache::new(config.llc)?;
         let mc = McPipeline::with_channels(config.hpd, config.rpt, config.channels)?;
-        let mut spaces = HashMap::new();
-        let mut mapped_lru = HashMap::new();
-        let mut cgroups = HashMap::new();
+        let mut spaces = BTreeMap::new();
+        let mut mapped_lru = BTreeMap::new();
+        let mut cgroups = BTreeMap::new();
         let mut runtimes = Vec::new();
         let mut total_limit = 0usize;
         for app in apps {
@@ -145,7 +145,7 @@ impl Simulator {
             SystemConfig::Hopp { config, .. } => Some(HoppRuntime {
                 engine: HoppEngine::try_new(config)?,
                 exec: ExecutionEngine::new(),
-                injected: HashMap::new(),
+                injected: BTreeMap::new(),
                 metrics: PrefetchMetrics::new(),
                 tier_metrics: [
                     PrefetchMetrics::new(),
@@ -172,18 +172,18 @@ impl Simulator {
                 None => SwapDevice::new(),
             },
             pool: MemoryPool::new(config.rdma, config.fabric)?,
-            stream_hints: HashMap::new(),
+            stream_hints: BTreeMap::new(),
             baseline,
             sc_lru: LruLists::new(),
             base_metrics: PrefetchMetrics::new(),
-            base_inflight: HashMap::new(),
+            base_inflight: BTreeMap::new(),
             base_cq: CompletionQueue::new(),
             hopp,
-            hopp_inflight: HashMap::new(),
+            hopp_inflight: BTreeMap::new(),
             apps: runtimes,
             counters: Counters::default(),
             prefetch_buf: Vec::new(),
-            last_hot: HashMap::new(),
+            last_hot: BTreeMap::new(),
             timeline: Vec::new(),
             recorder: ObsRecorder::for_level(config.obs_level),
             hists: LatencyHistograms::default(),
@@ -212,7 +212,14 @@ impl Simulator {
     }
 
     /// Runs every app to completion and reports.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal simulation errors: a page whose every replica
+    /// was lost ([`Error::PageUnreachable`]), an exhausted pool or
+    /// remote node, or an internal bookkeeping violation. Fault
+    /// injection runs surface here instead of panicking.
+    pub fn run(mut self) -> Result<SimReport> {
         // Round-robin across apps at access granularity: the
         // single-node interleaving that makes streams intertwine.
         let mut live: Vec<usize> = (0..self.apps.len()).collect();
@@ -223,7 +230,7 @@ impl Simulator {
             let next = self.apps[app_idx].1.stream.next_access();
             match next {
                 Some(access) => {
-                    self.step(app_idx, access);
+                    self.step(app_idx, access)?;
                     cursor += 1;
                 }
                 None => {
@@ -232,13 +239,13 @@ impl Simulator {
                 }
             }
         }
-        self.report()
+        Ok(self.report())
     }
 
     /// Executes one page access.
-    fn step(&mut self, app_idx: usize, access: PageAccess) {
+    fn step(&mut self, app_idx: usize, access: PageAccess) -> Result<()> {
         self.clock += Nanos::from_nanos(u64::from(access.think_ns));
-        self.drain_completions();
+        self.drain_completions()?;
         self.counters.accesses += 1;
         self.apps[app_idx].1.accesses += 1;
         if self.config.timeline_every > 0
@@ -280,34 +287,41 @@ impl Simulator {
                 self.recorder
                     .record(self.clock, Event::InflightWait { pid, vpn, wait });
             }
-            self.drain_completions();
+            self.drain_completions()?;
         }
 
         let mapping = self
             .spaces
             .get(&pid)
-            .unwrap_or_else(|| panic!("access by unknown {pid}"))
+            .ok_or(Error::UnknownProcess { pid })?
             .lookup(vpn);
         match mapping {
             Some(Mapping::Present(pte)) => {
                 self.counters.dram_hits += 1;
-                self.on_present_access(pid, vpn, pte.ppn, &access);
+                self.on_present_access(pid, vpn, pte.ppn, &access)?;
             }
             Some(Mapping::Swapped(slot)) => {
                 if self.swapcache.contains(pid, vpn) {
-                    self.minor_fault(app_idx, pid, vpn, &access);
+                    self.minor_fault(app_idx, pid, vpn, &access)?;
                 } else {
-                    self.major_fault(app_idx, pid, vpn, slot, &access);
+                    self.major_fault(app_idx, pid, vpn, slot, &access)?;
                 }
             }
             None => {
-                self.first_touch(pid, vpn, &access);
+                self.first_touch(pid, vpn, &access)?;
             }
         }
+        Ok(())
     }
 
     /// An access whose PTE is present: pure memory-system cost.
-    fn on_present_access(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) {
+    fn on_present_access(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        ppn: Ppn,
+        access: &PageAccess,
+    ) -> Result<()> {
         // A real kernel only learns about these accesses via accessed-bit
         // scans; precise_lru = false models a kernel that never scans.
         if self.config.precise_lru {
@@ -318,11 +332,11 @@ impl Simulator {
         if !access.kind.is_read() {
             self.spaces
                 .get_mut(&pid)
-                .expect("known pid")
+                .ok_or(Error::UnknownProcess { pid })?
                 .mark_dirty(vpn);
         }
         self.record_first_hit(pid, vpn);
-        self.line_loop(pid, vpn, ppn, access);
+        self.line_loop(pid, vpn, ppn, access)
     }
 
     /// First application access to a prefetched page: metrics +
@@ -366,12 +380,21 @@ impl Simulator {
     }
 
     /// Swapcache hit: a minor fault (*prefetch-hit*, 2.3 µs).
-    fn minor_fault(&mut self, app_idx: usize, pid: Pid, vpn: Vpn, access: &PageAccess) {
+    fn minor_fault(
+        &mut self,
+        app_idx: usize,
+        pid: Pid,
+        vpn: Vpn,
+        access: &PageAccess,
+    ) -> Result<()> {
         self.clock += self.config.latency.prefetch_hit();
         self.counters.minor_faults += 1;
         self.apps[app_idx].1.minor_faults += 1;
 
-        let entry = self.swapcache.take(pid, vpn).expect("checked contains");
+        let entry = self
+            .swapcache
+            .take(pid, vpn)
+            .ok_or(Error::UnmappedPage { pid, vpn })?;
         if let Some(t) = self.base_metrics.on_first_access(pid, vpn, self.clock) {
             self.on_prefetch_hit(pid, vpn, t);
         }
@@ -384,11 +407,11 @@ impl Simulator {
             self.pool.release(pid, vpn);
         }
         self.sc_lru.remove(entry.ppn);
-        self.map_page(pid, vpn, entry.ppn);
+        self.map_page(pid, vpn, entry.ppn)?;
         if !access.kind.is_read() {
             self.spaces
                 .get_mut(&pid)
-                .expect("known pid")
+                .ok_or(Error::UnknownProcess { pid })?
                 .mark_dirty(vpn);
         }
 
@@ -398,8 +421,8 @@ impl Simulator {
             now: self.clock,
             hit_swapcache: true,
             slot: None,
-        });
-        self.line_loop(pid, vpn, entry.ppn, access);
+        })?;
+        self.line_loop(pid, vpn, entry.ppn, access)
     }
 
     /// Major fault: synchronous remote read plus the kernel fault path.
@@ -410,7 +433,7 @@ impl Simulator {
         vpn: Vpn,
         slot: hopp_types::SwapSlot,
         access: &PageAccess,
-    ) {
+    ) -> Result<()> {
         self.counters.major_faults += 1;
         self.apps[app_idx].1.major_faults += 1;
         self.base_metrics.on_demand_remote();
@@ -421,7 +444,7 @@ impl Simulator {
         let started = self.clock;
         let done = self
             .pool
-            .read_page(pid, vpn, self.clock, &mut self.recorder);
+            .read_page(pid, vpn, self.clock, &mut self.recorder)?;
         self.clock = done + self.config.latency.major_fault_cpu();
         let latency = self.clock.saturating_since(started);
         if self.obs_hists {
@@ -435,14 +458,14 @@ impl Simulator {
                 .record(self.clock, Event::MajorFault { pid, vpn, latency });
         }
 
-        let ppn = self.ensure_frame(pid, vpn);
+        let ppn = self.ensure_frame(pid, vpn)?;
         self.swapdev.free(slot);
         self.pool.release(pid, vpn);
-        self.map_page(pid, vpn, ppn);
+        self.map_page(pid, vpn, ppn)?;
         if !access.kind.is_read() {
             self.spaces
                 .get_mut(&pid)
-                .expect("known pid")
+                .ok_or(Error::UnknownProcess { pid })?
                 .mark_dirty(vpn);
         }
 
@@ -452,48 +475,53 @@ impl Simulator {
             now: self.clock,
             hit_swapcache: false,
             slot: Some(slot),
-        });
-        self.drain_completions();
-        self.line_loop(pid, vpn, ppn, access);
+        })?;
+        self.drain_completions()?;
+        self.line_loop(pid, vpn, ppn, access)
     }
 
     /// First touch: zero-fill, no remote traffic.
-    fn first_touch(&mut self, pid: Pid, vpn: Vpn, access: &PageAccess) {
+    fn first_touch(&mut self, pid: Pid, vpn: Vpn, access: &PageAccess) -> Result<()> {
         self.clock += self.config.latency.context_switch + self.config.latency.pte_establish;
         self.counters.first_touches += 1;
         if self.recorder.is_enabled() {
             self.recorder
                 .record(self.clock, Event::FirstTouch { pid, vpn });
         }
-        let ppn = self.ensure_frame(pid, vpn);
-        self.map_page(pid, vpn, ppn);
+        let ppn = self.ensure_frame(pid, vpn)?;
+        self.map_page(pid, vpn, ppn)?;
         if !access.kind.is_read() {
             self.spaces
                 .get_mut(&pid)
-                .expect("known pid")
+                .ok_or(Error::UnknownProcess { pid })?
                 .mark_dirty(vpn);
         }
-        self.line_loop(pid, vpn, ppn, access);
+        self.line_loop(pid, vpn, ppn, access)
     }
 
     /// Installs a PTE, charges the cgroup and reclaims if over limit.
-    fn map_page(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) {
+    fn map_page(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) -> Result<()> {
         self.spaces
             .get_mut(&pid)
-            .expect("known pid")
+            .ok_or(Error::UnknownProcess { pid })?
             .map_present(vpn, ppn, &mut self.mc);
         self.lrus
             .get_mut(&pid)
-            .expect("known pid")
+            .ok_or(Error::UnknownProcess { pid })?
             .insert(ppn, LruTier::Active);
-        let over = self.cgroups.get_mut(&pid).expect("known pid").charge();
+        let over = self
+            .cgroups
+            .get_mut(&pid)
+            .ok_or(Error::UnknownProcess { pid })?
+            .charge();
         if over {
-            self.reclaim_over_limit(pid);
+            self.reclaim_over_limit(pid)?;
         }
+        Ok(())
     }
 
     /// The per-cacheline memory-system walk of one page touch.
-    fn line_loop(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) {
+    fn line_loop(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) -> Result<()> {
         for line in 0..access.lines {
             let addr = ppn.line(line);
             if self.llc.access(addr, access.kind) {
@@ -507,17 +535,20 @@ impl Simulator {
                     if self.config.trace_assisted_reclaim.is_some() {
                         self.last_hot.insert(ppn, self.clock);
                     }
-                    self.on_hot_page(hot);
+                    self.on_hot_page(hot)?;
                 }
             }
         }
         let _ = (pid, vpn);
+        Ok(())
     }
 
     /// Hot page from the MC: feed HoPP's training stack and issue the
     /// resulting orders on the separate data path.
-    fn on_hot_page(&mut self, hot: hopp_types::HotPage) {
-        let Some(h) = &mut self.hopp else { return };
+    fn on_hot_page(&mut self, hot: hopp_types::HotPage) -> Result<()> {
+        let Some(h) = &mut self.hopp else {
+            return Ok(());
+        };
         let orders = h.engine.on_hot_page_rec(&hot, &mut self.recorder);
         for order in orders {
             let key = (order.pid, order.vpn);
@@ -574,7 +605,7 @@ impl Simulator {
                 self.clock,
                 &mut self.pool,
                 &mut self.recorder,
-            ) {
+            )? {
                 if self.obs_hists {
                     self.hists
                         .rdma_read
@@ -596,21 +627,27 @@ impl Simulator {
                 }
             }
         }
+        Ok(())
     }
 
     /// Runs the fault-path prefetcher and issues its requests.
-    fn notify_baseline(&mut self, fault: FaultInfo) {
+    fn notify_baseline(&mut self, fault: FaultInfo) -> Result<()> {
         let mut reqs = std::mem::take(&mut self.prefetch_buf);
         reqs.clear();
         self.baseline.on_fault(&fault, &self.swapdev, &mut reqs);
         hopp_kernel::prefetcher::record_baseline_requests(self.clock, &reqs, &mut self.recorder);
+        let mut outcome = Ok(());
         for req in &reqs {
-            self.issue_baseline_prefetch(*req);
+            outcome = self.issue_baseline_prefetch(*req);
+            if outcome.is_err() {
+                break;
+            }
         }
         self.prefetch_buf = reqs;
+        outcome
     }
 
-    fn issue_baseline_prefetch(&mut self, req: hopp_kernel::PrefetchRequest) {
+    fn issue_baseline_prefetch(&mut self, req: hopp_kernel::PrefetchRequest) -> Result<()> {
         let key = (req.pid, req.vpn);
         let swapped = matches!(
             self.spaces.get(&req.pid).and_then(|s| s.lookup(req.vpn)),
@@ -621,11 +658,11 @@ impl Simulator {
             || self.base_inflight.contains_key(&key)
             || self.hopp_inflight.contains_key(&key)
         {
-            return;
+            return Ok(());
         }
         let done = self
             .pool
-            .read_page(req.pid, req.vpn, self.clock, &mut self.recorder);
+            .read_page(req.pid, req.vpn, self.clock, &mut self.recorder)?;
         if self.obs_hists {
             self.hists
                 .rdma_read
@@ -641,39 +678,45 @@ impl Simulator {
             },
         );
         self.counters.baseline_prefetches += 1;
+        Ok(())
     }
 
     /// Processes every async arrival due by the current clock.
-    fn drain_completions(&mut self) {
+    fn drain_completions(&mut self) -> Result<()> {
         while let Some((done, arrival)) = self.base_cq.pop_due(self.clock) {
-            self.handle_base_arrival(arrival, done);
+            self.handle_base_arrival(arrival, done)?;
         }
-        if self.hopp.is_some() {
-            loop {
-                let completions = self.hopp.as_mut().expect("checked").exec.poll(self.clock);
-                if completions.is_empty() {
-                    break;
-                }
-                for c in completions {
-                    self.handle_hopp_completion(c);
-                }
+        // Not a `while let`: `handle_hopp_completion` needs `&mut self`,
+        // so the borrow of `self.hopp` must end before the body runs.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let completions = match &mut self.hopp {
+                Some(h) => h.exec.poll(self.clock),
+                None => break,
+            };
+            if completions.is_empty() {
+                break;
+            }
+            for c in completions {
+                self.handle_hopp_completion(c)?;
             }
         }
+        Ok(())
     }
 
-    fn handle_base_arrival(&mut self, arrival: BaseArrival, done: Nanos) {
+    fn handle_base_arrival(&mut self, arrival: BaseArrival, done: Nanos) -> Result<()> {
         let key = (arrival.pid, arrival.vpn);
         if self.base_inflight.remove(&key).is_none() {
-            return; // superseded
+            return Ok(()); // superseded
         }
         let Some(Mapping::Swapped(slot)) = self
             .spaces
             .get(&arrival.pid)
             .and_then(|s| s.lookup(arrival.vpn))
         else {
-            return; // page no longer remote; drop the data
+            return Ok(()); // page no longer remote; drop the data
         };
-        let ppn = self.ensure_frame(arrival.pid, arrival.vpn);
+        let ppn = self.ensure_frame(arrival.pid, arrival.vpn)?;
         self.base_metrics
             .on_prefetch_arrival(arrival.pid, arrival.vpn, done);
         if self.recorder.is_enabled() {
@@ -691,7 +734,7 @@ impl Simulator {
             // on the *active* list (§II-C).
             self.swapdev.free(slot);
             self.pool.release(arrival.pid, arrival.vpn);
-            self.map_page(arrival.pid, arrival.vpn, ppn);
+            self.map_page(arrival.pid, arrival.vpn, ppn)?;
         } else {
             self.swapcache.insert(
                 arrival.pid,
@@ -705,9 +748,10 @@ impl Simulator {
             // (the Fastswap/Leap accounting gap).
             self.sc_lru.insert(ppn, LruTier::Inactive);
         }
+        Ok(())
     }
 
-    fn handle_hopp_completion(&mut self, c: hopp_core::Completion) {
+    fn handle_hopp_completion(&mut self, c: hopp_core::Completion) -> Result<()> {
         if self.recorder.is_enabled() {
             self.recorder.record(
                 c.done_at,
@@ -730,25 +774,28 @@ impl Simulator {
             else {
                 continue;
             };
-            let ppn = self.ensure_frame(c.pid, vpn);
+            let ppn = self.ensure_frame(c.pid, vpn)?;
             self.swapdev.free(slot);
             self.pool.release(c.pid, vpn);
-            self.map_page(c.pid, vpn, ppn);
-            let h = self.hopp.as_mut().expect("hopp completion without hopp");
+            self.map_page(c.pid, vpn, ppn)?;
+            let Some(h) = self.hopp.as_mut() else {
+                continue; // unreachable: completions only exist with hopp
+            };
             h.metrics.on_prefetch_arrival(c.pid, vpn, c.done_at);
             h.tier_metrics[tier_index(c.tier)].on_prefetch_arrival(c.pid, vpn, c.done_at);
             h.injected.insert(key, (c.stream, c.tier));
         }
+        Ok(())
     }
 
     /// Allocates a frame, reclaiming if the pool is exhausted.
-    fn ensure_frame(&mut self, pid: Pid, vpn: Vpn) -> Ppn {
+    fn ensure_frame(&mut self, pid: Pid, vpn: Vpn) -> Result<Ppn> {
         loop {
             match self.frames.alloc(pid, vpn) {
-                Ok(ppn) => return ppn,
+                Ok(ppn) => return Ok(ppn),
                 Err(_) => {
-                    if !self.evict_one(pid) {
-                        panic!("out of frames with nothing reclaimable");
+                    if !self.evict_one(pid)? {
+                        return Err(Error::OutOfFrames);
                     }
                 }
             }
@@ -759,10 +806,10 @@ impl Simulator {
     /// swapcache pages first (they are uncharged and cheap to drop),
     /// then the preferring pid's mapped pages, then the largest
     /// process's.
-    fn evict_one(&mut self, prefer: Pid) -> bool {
+    fn evict_one(&mut self, prefer: Pid) -> Result<bool> {
         if let Some(ppn) = self.sc_lru.pop_evict() {
-            self.evict_frame(ppn);
-            return true;
+            self.evict_frame(ppn)?;
+            return Ok(true);
         }
         let victim_pid = if self.lrus.get(&prefer).is_some_and(|l| !l.is_empty()) {
             prefer
@@ -775,14 +822,14 @@ impl Simulator {
                 .map(|(p, _)| *p)
             {
                 Some(p) => p,
-                None => return false,
+                None => return Ok(false),
             }
         };
-        let Some(ppn) = self.pop_mapped_victim(victim_pid) else {
-            return false;
+        let Some(ppn) = self.pop_mapped_victim(victim_pid)? else {
+            return Ok(false);
         };
-        self.evict_frame(ppn);
-        true
+        self.evict_frame(ppn)?;
+        Ok(true)
     }
 
     /// Reclaims the given frame: swapcache pages are dropped, mapped
@@ -790,11 +837,11 @@ impl Simulator {
     ///
     /// With `reclaim_in_advance = false` (pre-v5.8 kernels) the per-page
     /// reclaim cost lands on the current fault's critical path.
-    fn evict_frame(&mut self, ppn: Ppn) {
+    fn evict_frame(&mut self, ppn: Ppn) -> Result<()> {
         if !self.config.reclaim_in_advance {
             self.clock += self.config.latency.reclaim_per_page;
         }
-        let (pid, vpn) = self.frames.owner(ppn).expect("evicting an owned frame");
+        let (pid, vpn) = self.frames.owner(ppn).ok_or(Error::FrameNotOwned { ppn })?;
         self.counters.reclaimed += 1;
         // For the Reclaim event: which list the frame came off, captured
         // before the removals below lose that information.
@@ -818,14 +865,13 @@ impl Simulator {
         } else {
             let slot = self
                 .swapdev
-                .alloc_rec(pid, vpn, self.clock, &mut self.recorder)
-                .expect("remote memory node exhausted; raise remote_capacity_pages");
+                .alloc_rec(pid, vpn, self.clock, &mut self.recorder)?;
             let pte = self
                 .spaces
                 .get_mut(&pid)
-                .expect("known pid")
+                .ok_or(Error::UnknownProcess { pid })?
                 .swap_out(vpn, slot, &mut self.mc)
-                .expect("mapped page");
+                .ok_or(Error::UnmappedPage { pid, vpn })?;
             debug_assert_eq!(pte.ppn, ppn);
             let hint = if self.pool.wants_hints() {
                 self.stream_hints
@@ -835,7 +881,7 @@ impl Simulator {
                 None
             };
             self.pool
-                .place(pid, vpn, hint, self.clock, &mut self.recorder);
+                .place(pid, vpn, hint, self.clock, &mut self.recorder)?;
             dirty = pte.dirty;
             if pte.dirty {
                 // Writeback happens off the critical path but occupies
@@ -850,7 +896,10 @@ impl Simulator {
                 }
                 self.counters.writebacks += 1;
             }
-            self.cgroups.get_mut(&pid).expect("known pid").uncharge();
+            self.cgroups
+                .get_mut(&pid)
+                .ok_or(Error::UnknownProcess { pid })?
+                .uncharge();
             // Injected-but-never-used prefetches die here.
             wasted = false;
             if let Some(h) = &mut self.hopp {
@@ -870,31 +919,49 @@ impl Simulator {
             }
         }
         self.last_hot.remove(&ppn);
-        self.frames.free(ppn).expect("owned frame frees");
+        self.frames.free(ppn)?;
         self.llc.invalidate_page(ppn);
         self.mc.on_page_reclaimed(ppn);
+        Ok(())
     }
 
     /// Direct reclaim for a cgroup that exceeded its limit.
-    fn reclaim_over_limit(&mut self, pid: Pid) {
-        while self.cgroups.get(&pid).expect("known pid").over_limit() {
-            let Some(ppn) = self.pop_mapped_victim(pid) else {
+    fn reclaim_over_limit(&mut self, pid: Pid) -> Result<()> {
+        while self
+            .cgroups
+            .get(&pid)
+            .ok_or(Error::UnknownProcess { pid })?
+            .over_limit()
+        {
+            let Some(ppn) = self.pop_mapped_victim(pid)? else {
                 break;
             };
-            self.evict_frame(ppn);
+            self.evict_frame(ppn)?;
         }
+        Ok(())
     }
 
     /// Pops the next eviction victim from a cgroup's mapped LRU. With
     /// trace-assisted reclaim enabled (§IV), pages the MC reported hot
     /// within the configured window get a second chance (re-inserted at
     /// the active head), bounded to a few rotations.
-    fn pop_mapped_victim(&mut self, pid: Pid) -> Option<Ppn> {
+    fn pop_mapped_victim(&mut self, pid: Pid) -> Result<Option<Ppn>> {
         let Some(window) = self.config.trace_assisted_reclaim else {
-            return self.lrus.get_mut(&pid).expect("known pid").pop_evict();
+            return Ok(self
+                .lrus
+                .get_mut(&pid)
+                .ok_or(Error::UnknownProcess { pid })?
+                .pop_evict());
         };
         for _ in 0..4 {
-            let ppn = self.lrus.get_mut(&pid).expect("known pid").pop_evict()?;
+            let Some(ppn) = self
+                .lrus
+                .get_mut(&pid)
+                .ok_or(Error::UnknownProcess { pid })?
+                .pop_evict()
+            else {
+                return Ok(None);
+            };
             let hot_recently = self
                 .last_hot
                 .get(&ppn)
@@ -902,13 +969,17 @@ impl Simulator {
             if hot_recently {
                 self.lrus
                     .get_mut(&pid)
-                    .expect("known pid")
+                    .ok_or(Error::UnknownProcess { pid })?
                     .insert(ppn, LruTier::Active);
             } else {
-                return Some(ppn);
+                return Ok(Some(ppn));
             }
         }
-        self.lrus.get_mut(&pid).expect("known pid").pop_evict()
+        Ok(self
+            .lrus
+            .get_mut(&pid)
+            .ok_or(Error::UnknownProcess { pid })?
+            .pop_evict())
     }
 
     fn report(mut self) -> SimReport {
@@ -1001,6 +1072,7 @@ mod tests {
         Simulator::new(SimConfig::with_system(system), vec![app])
             .unwrap()
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -1099,7 +1171,8 @@ mod tests {
             apps,
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert_eq!(r.per_app.len(), 2);
         let a = r.per_app[&Pid::new(1)];
         let b = r.per_app[&Pid::new(2)];
@@ -1173,7 +1246,8 @@ mod tests {
         };
         let r = Simulator::new(config, vec![scan_app(1, 1_000, 2, 500)])
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.timeline.len(), 20, "2000 accesses / 100");
         for w in r.timeline.windows(2) {
             assert!(w[1].at >= w[0].at);
@@ -1206,7 +1280,8 @@ mod tests {
             vec![scan_app(1, 1_000, 2, 500)],
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         // ~1000 reclaims x 3 us land on the fault path: the pre-v5.8
         // worst case of §II-A.
         let extra = direct.completion.saturating_since(advance.completion);
@@ -1234,10 +1309,12 @@ mod tests {
             vec![app()],
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         let dynamic = Simulator::new(volatile(SystemConfig::hopp_default()), vec![app()])
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         // §III-E: the timeliness controller pushes the offset out during
         // bursts; a pinned offset of 1 keeps stalling on late pages.
         assert!(
@@ -1259,6 +1336,7 @@ mod tests {
             Simulator::new(config, vec![scan_app(1, 1_000, 2, 500)])
                 .unwrap()
                 .run()
+                .unwrap()
         };
         let off = run_at(ObsLevel::Off);
         let counters = run_at(ObsLevel::Counters);

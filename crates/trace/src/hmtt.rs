@@ -56,7 +56,7 @@ impl HmttRecord {
     /// hardware would; `seqno` is truncated to 8 bits.
     pub fn capture(seqno: u64, access: &LineAccess) -> Self {
         let ts = (access.at.as_nanos() / TIMESTAMP_TICK_NS) & 0xff;
-        let rw = matches!(access.kind, AccessKind::Read) as u64;
+        let rw = u64::from(matches!(access.kind, AccessKind::Read));
         let addr = access.addr.raw() & ADDR_MASK;
         HmttRecord(((seqno & 0xff) << 38) | (ts << 30) | (rw << 29) | addr)
     }

@@ -27,7 +27,7 @@ pub const RECORD_BYTES: usize = 16;
 fn encode(acc: &PageAccess) -> [u8; RECORD_BYTES] {
     let mut buf = [0u8; RECORD_BYTES];
     buf[0..2].copy_from_slice(&acc.pid.raw().to_le_bytes());
-    buf[2] = matches!(acc.kind, AccessKind::Write) as u8;
+    buf[2] = u8::from(matches!(acc.kind, AccessKind::Write));
     buf[3] = acc.lines;
     buf[4..8].copy_from_slice(&acc.think_ns.to_le_bytes());
     buf[8..16].copy_from_slice(&acc.vpn.raw().to_le_bytes());

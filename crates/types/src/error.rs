@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{Pid, Ppn, Vpn};
+use crate::{NodeId, Pid, Ppn, Vpn};
 
 /// Errors surfaced by the HoPP simulation stack.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,6 +39,23 @@ pub enum Error {
         /// The node's capacity in pages.
         capacity_pages: usize,
     },
+    /// A swapped-out page's primary node and every replica are down:
+    /// the data is gone and the run cannot honestly continue.
+    PageUnreachable {
+        /// The owning process.
+        pid: Pid,
+        /// The unreachable page.
+        vpn: Vpn,
+        /// The page's primary node.
+        primary: NodeId,
+        /// The replication factor the page was stored with.
+        replication: usize,
+    },
+    /// No live memory node in the pool has room for a new placement.
+    PoolExhausted {
+        /// Pool size in nodes.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +72,25 @@ impl fmt::Display for Error {
             }
             Error::RemoteMemoryExhausted { capacity_pages } => {
                 write!(f, "remote memory node full ({capacity_pages} pages)")
+            }
+            Error::PageUnreachable {
+                pid,
+                vpn,
+                primary,
+                replication,
+            } => {
+                write!(
+                    f,
+                    "page {pid}:{vpn} unreachable: primary {primary} and all {replication} \
+                     replica(s) are down; raise --replication"
+                )
+            }
+            Error::PoolExhausted { nodes } => {
+                write!(
+                    f,
+                    "memory pool exhausted: no live node with room among {nodes} node(s); \
+                     raise --mem-nodes or node capacity"
+                )
             }
         }
     }

@@ -116,7 +116,22 @@ impl Ppn {
     /// Panics if `line >= LINES_PER_PAGE` (debug builds only).
     pub fn line(self, line: u8) -> LineAddr {
         debug_assert!((line as usize) < LINES_PER_PAGE);
-        LineAddr((self.0 << (PAGE_SHIFT - LINE_SHIFT)) | line as u64)
+        LineAddr((self.0 << (PAGE_SHIFT - LINE_SHIFT)) | u64::from(line))
+    }
+
+    /// The frame index as a `usize`, for indexing frame tables.
+    ///
+    /// This is the sanctioned way to use a `Ppn` as a table index; raw
+    /// `as` casts on [`Ppn::raw`] are rejected by the unit-hygiene rule
+    /// of `cargo xtask check`.
+    #[allow(clippy::cast_possible_truncation)]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The frame at position `index` of a frame table.
+    pub const fn from_index(index: usize) -> Self {
+        Ppn(index as u64)
     }
 }
 
@@ -193,6 +208,17 @@ impl Pid {
     pub const fn raw(self) -> u16 {
         self.0
     }
+
+    /// The process at position `index` of a process table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the RPT's 16-bit PID field — a
+    /// workload-construction bug, not a runtime condition.
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u16::MAX as usize, "pid index {index} > u16::MAX");
+        Pid(index as u16)
+    }
 }
 
 impl fmt::Debug for Pid {
@@ -267,6 +293,17 @@ impl NodeId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The node at position `index` of a pool's node table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the 16-bit node-id space — a pool
+    /// construction bug, not a runtime condition (debug builds only).
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u16::MAX as usize, "node index {index} > u16::MAX");
+        NodeId(index as u16)
+    }
 }
 
 impl fmt::Debug for NodeId {
@@ -331,6 +368,15 @@ mod tests {
         let s = SwapSlot::new(10);
         assert_eq!(s.offset(-10), Some(SwapSlot::new(0)));
         assert_eq!(s.offset(-11), None);
+    }
+
+    #[test]
+    fn index_conversions_roundtrip() {
+        assert_eq!(Ppn::from_index(42).index(), 42);
+        assert_eq!(Ppn::from_index(42), Ppn::new(42));
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(NodeId::from_index(7), NodeId::new(7));
+        assert_eq!(Pid::from_index(3), Pid::new(3));
     }
 
     #[test]

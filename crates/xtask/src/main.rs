@@ -1,0 +1,58 @@
+//! `cargo xtask` — repo-local task runner.
+//!
+//! The only task today is `check`: the `hopp-check` static-analysis
+//! pass over the whole workspace (see `docs/static-analysis.md`).
+//! Invoked through the alias in `.cargo/config.toml`:
+//!
+//! ```text
+//! cargo xtask check
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 on findings, 2 on usage or
+//! IO errors. The summary always reports the waiver budget so CI logs
+//! show how many findings are suppressed and by which rule.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let task = args.next().unwrap_or_else(|| "check".to_string());
+    match task.as_str() {
+        "check" => run_check(),
+        "--help" | "-h" | "help" => {
+            eprintln!("usage: cargo xtask [check]\n\n  check   run the hopp-check static-analysis pass (default)");
+            ExitCode::from(2)
+        }
+        other => {
+            eprintln!("unknown xtask `{other}` (try `cargo xtask check`)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check() -> ExitCode {
+    match hopp_check::run(&workspace_root()) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("hopp-check failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -28,6 +28,7 @@ fn run_pair(system: SystemConfig) -> hopp::sim::SimReport {
     Simulator::new(SimConfig::with_system(system), apps)
         .expect("valid configuration")
         .run()
+        .expect("pair run")
 }
 
 fn main() {

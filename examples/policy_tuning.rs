@@ -11,7 +11,7 @@ use hopp::sim::{run_workload, BaselineKind, SystemConfig};
 use hopp::workloads::WorkloadKind;
 
 fn run(label: &str, system: SystemConfig, fastswap_ns: f64) {
-    let r = run_workload(WorkloadKind::Microbench, 4_096, 42, system, 0.5);
+    let r = run_workload(WorkloadKind::Microbench, 4_096, 42, system, 0.5).expect("sweep run");
     let speedup = 1.0 - r.completion.as_nanos() as f64 / fastswap_ns;
     let timeliness = r
         .hopp
@@ -31,7 +31,8 @@ fn main() {
         42,
         SystemConfig::Baseline(BaselineKind::Fastswap),
         0.5,
-    );
+    )
+    .expect("baseline run");
     let base = fastswap.completion.as_nanos() as f64;
     println!(
         "baseline: Fastswap completes the microbenchmark in {}\n",

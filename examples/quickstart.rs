@@ -8,7 +8,7 @@
 use hopp::sim::{run_local, run_workload, BaselineKind, SystemConfig};
 use hopp::workloads::WorkloadKind;
 
-fn main() {
+fn main() -> hopp::types::Result<()> {
     let kind = WorkloadKind::Kmeans;
     let footprint = 4_096; // pages (16 MB)
     let seed = 42;
@@ -20,7 +20,7 @@ fn main() {
         ratio * 100.0
     );
 
-    let local = run_local(kind, footprint, seed);
+    let local = run_local(kind, footprint, seed)?;
     println!("\nall-local completion: {}", local.completion);
 
     for system in [
@@ -28,7 +28,7 @@ fn main() {
         SystemConfig::Baseline(BaselineKind::Fastswap),
         SystemConfig::hopp_default(),
     ] {
-        let r = run_workload(kind, footprint, seed, system, ratio);
+        let r = run_workload(kind, footprint, seed, system, ratio)?;
         let normalized = local.completion.as_nanos() as f64 / r.completion.as_nanos() as f64;
         println!(
             "\n[{}]\n  completion: {} (normalized perf {normalized:.3})\n  major faults: {}  prefetch-hits: {}  dram page touches: {}\n  prefetch accuracy: {:.1}%  coverage: {:.1}%",
@@ -47,4 +47,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

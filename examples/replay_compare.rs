@@ -75,7 +75,8 @@ fn main() -> std::io::Result<()> {
         };
         let report = Simulator::new(SimConfig::with_system(system), vec![app])
             .expect("valid configuration")
-            .run();
+            .run()
+            .expect("replay run");
         let ns = report.completion.as_nanos() as f64;
         let local = *local_ns.get_or_insert(ns);
         println!(

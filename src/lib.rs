@@ -31,15 +31,18 @@
 //! use hopp::sim::{run_workload, BaselineKind, SystemConfig};
 //! use hopp::workloads::WorkloadKind;
 //!
+//! # fn main() -> hopp::types::Result<()> {
 //! // K-means with half its working set in remote memory:
 //! let fastswap = run_workload(WorkloadKind::Kmeans, 1_024, 42,
-//!     SystemConfig::Baseline(BaselineKind::Fastswap), 0.5);
+//!     SystemConfig::Baseline(BaselineKind::Fastswap), 0.5)?;
 //! let hopp = run_workload(WorkloadKind::Kmeans, 1_024, 42,
-//!     SystemConfig::hopp_default(), 0.5);
+//!     SystemConfig::hopp_default(), 0.5)?;
 //!
 //! // HoPP turns prefetch-hits into plain DRAM hits:
 //! assert!(hopp.completion < fastswap.completion);
 //! assert!(hopp.coverage() > fastswap.coverage());
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! See `examples/` for runnable scenarios and the `experiments` binary

@@ -16,10 +16,11 @@ fn fastswap(kind: WorkloadKind) -> SimReport {
         SystemConfig::Baseline(BaselineKind::Fastswap),
         0.5,
     )
+    .expect("fastswap run")
 }
 
 fn hopp(kind: WorkloadKind) -> SimReport {
-    run_workload(kind, FP, SEED, SystemConfig::hopp_default(), 0.5)
+    run_workload(kind, FP, SEED, SystemConfig::hopp_default(), 0.5).expect("hopp run")
 }
 
 #[test]
@@ -69,7 +70,7 @@ fn paper_metrics_bounds_hold_for_all_systems() {
         SystemConfig::Baseline(BaselineKind::DepthN(16)),
         SystemConfig::hopp_default(),
     ] {
-        let r = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.5);
+        let r = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.5).unwrap();
         assert!((0.0..=1.0).contains(&r.accuracy()), "{}", r.system);
         assert!((0.0..=1.0).contains(&r.coverage()), "{}", r.system);
         assert!(
@@ -82,7 +83,7 @@ fn paper_metrics_bounds_hold_for_all_systems() {
 #[test]
 fn local_runs_never_touch_the_network() {
     for kind in [WorkloadKind::Quicksort, WorkloadKind::GraphBfs] {
-        let r = run_local(kind, FP, SEED);
+        let r = run_local(kind, FP, SEED).unwrap();
         assert_eq!(r.counters.major_faults, 0, "{}", kind.name());
         assert_eq!(r.rdma.reads, 0, "{}", kind.name());
         assert_eq!(r.rdma.writes, 0, "{}", kind.name());
@@ -105,8 +106,8 @@ fn tighter_memory_never_speeds_things_up() {
         SystemConfig::Baseline(BaselineKind::Fastswap),
         SystemConfig::hopp_default(),
     ] {
-        let half = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.5);
-        let quarter = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.25);
+        let half = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.5).unwrap();
+        let quarter = run_workload(WorkloadKind::NpbIs, FP, SEED, system, 0.25).unwrap();
         assert!(
             quarter.completion >= half.completion,
             "{}: 25% {} faster than 50% {}",
@@ -144,7 +145,8 @@ fn depth_n_injects_eagerly_but_cannot_adapt() {
         SEED,
         SystemConfig::Baseline(BaselineKind::DepthN(32)),
         0.5,
-    );
+    )
+    .unwrap();
     let f = fastswap(WorkloadKind::NpbFt);
     // The §II-C paradox: on FT's strided phases Depth-32 floods the
     // link with wrong pages — far more remote traffic than Fastswap...

@@ -8,6 +8,7 @@ use hopp::sim::{
     run_workload, run_workload_with, run_workload_with_faults, BaselineKind, SimConfig,
     SystemConfig,
 };
+use hopp::types::{Error, NodeId};
 use hopp::workloads::WorkloadKind;
 
 fn pool_config(nodes: usize, replication: usize, system: SystemConfig) -> SimConfig {
@@ -29,14 +30,15 @@ fn single_node_pool_is_bit_identical_to_the_plain_link() {
         SystemConfig::Baseline(BaselineKind::Fastswap),
         SystemConfig::hopp_default(),
     ] {
-        let plain = run_workload(WorkloadKind::Kmeans, 1_024, 42, system, 0.5);
+        let plain = run_workload(WorkloadKind::Kmeans, 1_024, 42, system, 0.5).unwrap();
         let pooled = run_workload_with(
             pool_config(1, 1, system),
             WorkloadKind::Kmeans,
             1_024,
             42,
             0.5,
-        );
+        )
+        .unwrap();
         assert_eq!(
             plain.metrics_json(),
             pooled.metrics_json(),
@@ -60,6 +62,7 @@ fn fault_runs_replay_byte_identically() {
             0.5,
             &script,
         )
+        .unwrap()
         .metrics_json()
     };
     assert_eq!(run(), run(), "same seed + script must replay exactly");
@@ -78,7 +81,8 @@ fn node_loss_completes_via_failover() {
         42,
         0.5,
         &script,
-    );
+    )
+    .unwrap();
     let fabric = report.fabric.as_ref().expect("multi-node pool reports");
     assert!(fabric.nodes[1].lost, "the scripted node is marked lost");
     assert!(
@@ -91,7 +95,8 @@ fn node_loss_completes_via_failover() {
         2_048,
         42,
         0.5,
-    );
+    )
+    .unwrap();
     assert_eq!(
         report.counters.accesses, healthy.counters.accesses,
         "the workload ran to completion despite the loss"
@@ -124,7 +129,7 @@ fn every_placement_policy_uses_all_nodes() {
             },
             ..SimConfig::with_system(SystemConfig::hopp_default())
         };
-        let report = run_workload_with(config, WorkloadKind::Kmeans, 2_048, 42, 0.25);
+        let report = run_workload_with(config, WorkloadKind::Kmeans, 2_048, 42, 0.25).unwrap();
         let fabric = report.fabric.as_ref().expect("multi-node pool reports");
         let busy = fabric.nodes.iter().filter(|n| n.link.reads > 0).count();
         assert!(
@@ -138,17 +143,29 @@ fn every_placement_policy_uses_all_nodes() {
 }
 
 /// An unreplicated pool cannot survive losing a node that still holds
-/// pages: the run dies loudly rather than fabricating data.
+/// pages: the run reports a typed [`Error::PageUnreachable`] naming the
+/// page and node rather than panicking or fabricating data.
 #[test]
-#[should_panic(expected = "unreachable")]
-fn unreplicated_node_loss_panics() {
+fn unreplicated_node_loss_is_a_typed_error() {
     let script = FaultScript::parse("20:1:down").unwrap();
-    run_workload_with_faults(
+    let err = run_workload_with_faults(
         pool_config(4, 1, SystemConfig::Baseline(BaselineKind::Fastswap)),
         WorkloadKind::Kmeans,
         2_048,
         42,
         0.5,
         &script,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::PageUnreachable {
+                primary,
+                replication: 1,
+                ..
+            } if primary == NodeId::new(1)
+        ),
+        "expected PageUnreachable for node 1, got {err}"
     );
 }

@@ -5,11 +5,15 @@
 use hopp::hw::rtl_rpt::{RptRtl, MSHR_ENTRIES};
 use hopp::hw::{HpdConfig, McPipeline, RptCacheConfig};
 use hopp::kernel::SwapDevice;
-use hopp::sim::{AppSpec, BaselineKind, SimConfig, Simulator, SystemConfig};
+use hopp::sim::{
+    run_workload_with_faults, AppSpec, BaselineKind, FabricConfig, FaultScript, SimConfig,
+    Simulator, SystemConfig,
+};
 use hopp::trace::hmtt::{HmttRecord, TraceRing};
 use hopp::trace::llc::LlcConfig;
 use hopp::trace::patterns::SimpleStream;
-use hopp::types::{AccessKind, Error, LineAccess, LineAddr, Nanos, Pid, Ppn, Vpn};
+use hopp::types::{AccessKind, Error, LineAccess, LineAddr, Nanos, NodeId, Pid, Ppn, Vpn};
+use hopp::workloads::WorkloadKind;
 
 fn scan_app(pages: u64, limit: usize) -> AppSpec {
     AppSpec {
@@ -59,16 +63,21 @@ fn zero_cgroup_limit_is_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "remote memory node exhausted")]
-fn remote_exhaustion_fails_loudly() {
+fn remote_exhaustion_is_a_typed_error_not_a_panic() {
     // 2000 pages must spill ~1000 to remote, but the node only holds 64.
     let config = SimConfig {
         remote_capacity_pages: Some(64),
         ..SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch))
     };
-    let _ = Simulator::new(config, vec![scan_app(2_000, 1_000)])
+    let err = Simulator::new(config, vec![scan_app(2_000, 1_000)])
         .unwrap()
-        .run();
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::RemoteMemoryExhausted { capacity_pages: 64 }
+    ));
+    assert_eq!(err.to_string(), "remote memory node full (64 pages)");
 }
 
 #[test]
@@ -79,8 +88,42 @@ fn remote_capacity_that_fits_is_fine() {
     };
     let r = Simulator::new(config, vec![scan_app(2_000, 1_000)])
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(r.counters.reclaimed > 0);
+}
+
+#[test]
+fn losing_every_replica_surfaces_page_unreachable_with_context() {
+    // Unreplicated 2-node pool; node 0 dies mid-run, after pages have
+    // been hashed onto it. The first major fault on a page whose primary
+    // was node 0 must surface as a typed error carrying the page and
+    // node, not a panic or a silent stall.
+    let config = SimConfig {
+        fabric: FabricConfig {
+            nodes: 2,
+            replication: 1,
+            ..FabricConfig::default()
+        },
+        ..SimConfig::with_system(SystemConfig::Baseline(BaselineKind::Fastswap))
+    };
+    let script = FaultScript::parse("20:0:down").unwrap();
+    let err = run_workload_with_faults(config, WorkloadKind::Kmeans, 2_048, 42, 0.5, &script)
+        .unwrap_err();
+    let msg = err.to_string();
+    match err {
+        Error::PageUnreachable {
+            primary,
+            replication,
+            ..
+        } => {
+            assert_eq!(primary, NodeId::new(0), "only the downed node is lost");
+            assert_eq!(replication, 1);
+        }
+        other => panic!("expected PageUnreachable, got {other}"),
+    }
+    assert!(msg.contains("unreachable"), "{msg}");
+    assert!(msg.contains("--replication"), "points at the remedy: {msg}");
 }
 
 #[test]

@@ -11,7 +11,7 @@ fn run_at(level: ObsLevel) -> SimReport {
         obs_level: level,
         ..SimConfig::with_system(SystemConfig::hopp_default())
     };
-    run_workload_with(config, WorkloadKind::Kmeans, 1_024, 42, 0.5)
+    run_workload_with(config, WorkloadKind::Kmeans, 1_024, 42, 0.5).expect("obs run")
 }
 
 #[test]

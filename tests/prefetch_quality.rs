@@ -2,11 +2,21 @@
 //! the qualitative claims of §VI must hold for every workload, not just
 //! the ones the figures highlight.
 
-use hopp::sim::{run_workload, BaselineKind, SystemConfig};
+use hopp::sim::{BaselineKind, SimReport, SystemConfig};
 use hopp::workloads::WorkloadKind;
 
 const FP: u64 = 512;
 const SEED: u64 = 7;
+
+fn run_workload(
+    kind: WorkloadKind,
+    fp: u64,
+    seed: u64,
+    system: SystemConfig,
+    ratio: f64,
+) -> SimReport {
+    hopp::sim::run_workload(kind, fp, seed, system, ratio).expect("quality run")
+}
 
 #[test]
 fn every_workload_runs_under_every_system() {
