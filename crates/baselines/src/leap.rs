@@ -12,8 +12,9 @@
 //! §VI-E effect that makes Leap slower than Fastswap on the two-thread
 //! microbenchmark.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
+
+use hopp_ds::DetMap;
 
 use hopp_kernel::{FaultInfo, PrefetchRequest, Prefetcher, SlotView};
 use hopp_types::{Pid, Vpn};
@@ -27,7 +28,7 @@ pub struct LeapPrefetcher {
     /// doubles after a prefetch-hit and halves after a major fault,
     /// within `[min_depth, max_depth]`.
     adaptive: Option<(usize, usize)>,
-    history: BTreeMap<Pid, VecDeque<Vpn>>,
+    history: DetMap<Pid, VecDeque<Vpn>>,
 }
 
 impl Default for LeapPrefetcher {
@@ -52,7 +53,7 @@ impl LeapPrefetcher {
             window,
             depth,
             adaptive: None,
-            history: BTreeMap::new(),
+            history: DetMap::new(),
         }
     }
 
@@ -71,7 +72,7 @@ impl LeapPrefetcher {
             window,
             depth: min_depth,
             adaptive: Some((min_depth, max_depth)),
-            history: BTreeMap::new(),
+            history: DetMap::new(),
         }
     }
 
@@ -124,7 +125,7 @@ impl Prefetcher for LeapPrefetcher {
                 (self.depth / 2).max(min_depth)
             };
         }
-        let history = self.history.entry(fault.pid).or_default();
+        let history = self.history.get_or_insert_with(fault.pid, VecDeque::new);
         history.push_back(fault.vpn);
         if history.len() > self.window {
             history.pop_front();

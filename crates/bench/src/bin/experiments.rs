@@ -26,7 +26,8 @@ fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     }
 }
 
-const ALL: [&str; 30] = [
+const ALL: [&str; 31] = [
+    "throughput",
     "table2",
     "table3",
     "table5",
@@ -99,7 +100,7 @@ fn main() {
         }
     }
     if args.is_empty() {
-        eprintln!("usage: experiments [--quick] [--json] <all|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
+        eprintln!("usage: experiments [--quick] [--json] <all|throughput|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
         std::process::exit(2);
     }
     let selected: Vec<String> = if args.iter().any(|a| a == "all") {
@@ -139,6 +140,7 @@ fn run(name: &str, scale: &Scale) {
         "latency" => latency(scale),
         "fabric" => fabric(scale),
         "faults" => faults(scale),
+        "throughput" => throughput(scale),
         "hwcost" => hwcost(),
         other => eprintln!("unknown experiment: {other}"),
     }
@@ -804,6 +806,41 @@ fn faults(scale: &Scale) {
             &rows
         )
     );
+}
+
+fn throughput(scale: &Scale) {
+    const REPEATS: u32 = 3;
+    println!(
+        "\n## Throughput — simulator wall-clock accesses/sec (50% local, best of {REPEATS})\n"
+    );
+    let rows = ex::throughput(scale, REPEATS);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.name().to_string(),
+                r.system.to_string(),
+                r.accesses.to_string(),
+                format!("{:.1} ms", r.wall_secs * 1e3),
+                format!("{:.0}", r.accesses_per_sec),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render(
+            &["workload", "system", "accesses", "wall", "accesses/sec"],
+            &cells
+        )
+    );
+    // The tracked perf trajectory lives at the repo root; the bench
+    // crate's manifest dir is `crates/bench`, two levels below it.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let json = ex::throughput_json(scale, REPEATS, &rows);
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
 }
 
 fn hwcost() {

@@ -1089,6 +1089,102 @@ pub fn fault_study(scale: &Scale) -> Vec<FaultRow> {
     rows
 }
 
+/// One throughput row: simulator wall-clock throughput for a
+/// (workload, system) pair.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// System under test.
+    pub system: &'static str,
+    /// Page accesses the run executed.
+    pub accesses: u64,
+    /// Best-of-repeats wall-clock time for the run, in seconds.
+    pub wall_secs: f64,
+    /// `accesses / wall_secs`.
+    pub accesses_per_sec: f64,
+}
+
+/// The systems measured by the throughput harness.
+pub fn throughput_systems() -> [(&'static str, SystemConfig); 3] {
+    [
+        (
+            "noprefetch",
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+        ),
+        ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap)),
+        ("hopp", SystemConfig::hopp_default()),
+    ]
+}
+
+/// Perf-trajectory tentpole: wall-clock accesses/sec of the whole
+/// simulated stack per workload × system at 50 % local memory.
+///
+/// Wall-clock time is measured here, at the bench layer — the one place
+/// the determinism rules permit `Instant` — and each cell takes the
+/// best of `repeats` runs so scheduler noise does not pollute the
+/// tracked `BENCH_throughput.json` trajectory. Simulated results are
+/// seeded and identical across repeats; only the wall clock varies.
+pub fn throughput(scale: &Scale, repeats: u32) -> Vec<ThroughputRow> {
+    use std::time::Instant;
+    let workloads = [
+        WorkloadKind::Kmeans,
+        WorkloadKind::Quicksort,
+        WorkloadKind::NpbMg,
+        WorkloadKind::GraphPr,
+    ];
+    let mut rows = Vec::new();
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        for (name, system) in throughput_systems() {
+            let mut accesses = 0;
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats.max(1) {
+                let start = Instant::now();
+                let report = run_workload(kind, fp, scale.seed, system, 0.5);
+                let secs = start.elapsed().as_secs_f64();
+                accesses = report.counters.accesses;
+                best = best.min(secs);
+            }
+            rows.push(ThroughputRow {
+                workload: kind,
+                system: name,
+                accesses,
+                wall_secs: best,
+                accesses_per_sec: accesses as f64 / best.max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders throughput rows as the tracked `BENCH_throughput.json`
+/// document (hand-rolled JSON; the workspace has no serde).
+pub fn throughput_json(scale: &Scale, repeats: u32, rows: &[ThroughputRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"hopp-bench-throughput/v1\",\n");
+    out.push_str("  \"unit\": \"accesses_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"scale\": {{\"footprint\": {}, \"spark_footprint\": {}, \"seed\": {}, \"repeats\": {repeats}}},\n",
+        scale.footprint, scale.spark_footprint, scale.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"system\": \"{}\", \"accesses\": {}, \
+             \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.0}}}{}\n",
+            r.workload.name(),
+            r.system,
+            r.accesses,
+            r.wall_secs,
+            r.accesses_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// §VI-F: the CACTI-derived area and static-power estimates.
 pub fn hwcost() -> [(String, f64, f64); 2] {
     let model = HwCostModel::default();

@@ -10,7 +10,7 @@ use crate::{FileContext, Finding, Rule};
 /// file IO, `obs` exporters, `workloads` generators, `bench`, the
 /// checker itself) are exempt from those two rules but not from unit
 /// hygiene.
-pub const SIM_CRITICAL_CRATES: [&str; 8] = [
+pub const SIM_CRITICAL_CRATES: [&str; 9] = [
     "hw",
     "kernel",
     "mem",
@@ -19,6 +19,7 @@ pub const SIM_CRITICAL_CRATES: [&str; 8] = [
     "core",
     "sim",
     "baselines",
+    "ds",
 ];
 
 /// ID newtypes whose raw values must not be `as`-cast outside
@@ -47,11 +48,12 @@ const DETERMINISM_BANS: [(&str, &str); 6] = [
     ),
     (
         "HashMap",
-        "default-hasher map iterates in random order; use `BTreeMap` (or sort before iterating)",
+        "default-hasher map iterates in random order; use `hopp_ds::DetMap` (seeded hash, \
+         insertion-order iteration), `hopp_ds::PageMap` for dense page keys, or `BTreeMap`",
     ),
     (
         "HashSet",
-        "default-hasher set iterates in random order; use `BTreeSet` (or sort before iterating)",
+        "default-hasher set iterates in random order; use `hopp_ds::DetMap<K, ()>` or `BTreeSet`",
     ),
 ];
 

@@ -145,6 +145,30 @@ fn stale_and_reasonless_waivers_are_findings() {
 }
 
 #[test]
+fn hopp_ds_collections_pass_where_hashmap_fires() {
+    let report = check("dsaware");
+    // The `ds` crate is sim-critical, yet its `DetMap`/`PageMap`/`Lru`
+    // usage produces nothing; the `HashMap` twin fires at each use site
+    // with a steer that names the deterministic replacement.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Determinism, "crates/kernel/src/lib.rs", 3),
+            (Rule::Determinism, "crates/kernel/src/lib.rs", 7),
+        ],
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("hopp_ds::DetMap"),
+        "steer recommends the deterministic map: {}",
+        report.findings[0].message
+    );
+    assert_eq!(report.files_checked, 4);
+}
+
+#[test]
 fn missing_config_surfaces_are_reported_not_fatal() {
     // A root with no crates/ directory at all is an IO error ...
     let bogus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/does-not-exist");

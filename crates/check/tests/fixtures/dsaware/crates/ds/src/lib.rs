@@ -1,0 +1,12 @@
+//! Fixture: a sim-critical crate using the deterministic collections.
+//! Nothing here may produce a finding — `hopp_ds` types are the
+//! checker-endorsed replacements for the banned default-hasher ones.
+
+use hopp_ds::{DetMap, Lru, PageMap};
+
+/// Hot-path state built only from deterministic collections.
+pub struct HotState {
+    pub inflight: DetMap<u64, u64>,
+    pub frames: PageMap<usize, u32>,
+    pub recency: Lru,
+}

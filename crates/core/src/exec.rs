@@ -11,8 +11,7 @@
 //! is how early injection keeps the accuracy/coverage feedback loop
 //! alive that Depth-N loses (§II-C).
 
-use std::collections::BTreeMap;
-
+use hopp_ds::DetMap;
 use hopp_fabric::RemotePool;
 use hopp_net::CompletionQueue;
 use hopp_obs::{Event, NopRecorder, Recorder};
@@ -60,7 +59,7 @@ pub struct ExecStats {
 /// in-flight window, where the page tables can't help.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionEngine {
-    inflight: BTreeMap<(Pid, Vpn), (StreamId, Tier, Nanos, u32)>,
+    inflight: DetMap<(Pid, Vpn), (StreamId, Tier, Nanos, u32)>,
     cq: CompletionQueue<(Pid, Vpn)>,
     stats: ExecStats,
 }
@@ -169,8 +168,21 @@ impl ExecutionEngine {
     }
 
     /// Drains all reads that have completed by `now`, oldest first.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`ExecutionEngine::poll_into`] with a reused buffer.
     pub fn poll(&mut self, now: Nanos) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.poll_into(now, &mut done);
+        done
+    }
+
+    /// [`ExecutionEngine::poll`] appending into a caller-owned buffer
+    /// (which is *not* cleared first), so steady-state polling reuses
+    /// capacity instead of allocating per tick. Returns the number of
+    /// completions appended.
+    pub fn poll_into(&mut self, now: Nanos, done: &mut Vec<Completion>) -> usize {
+        let before = done.len();
         while let Some((done_at, (pid, vpn))) = self.cq.pop_due(now) {
             let (stream, tier, issued_at, span) = self
                 .inflight
@@ -188,7 +200,7 @@ impl ExecutionEngine {
                 done_at,
             });
         }
-        done
+        done.len() - before
     }
 
     /// Counters.

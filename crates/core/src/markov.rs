@@ -14,8 +14,7 @@
 //! opposite trade-off of the stride-based tiers. The
 //! `experiments markov` target compares the two.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::DetMap;
 use hopp_types::{HotPage, Nanos, Pid, Vpn};
 
 use crate::engine::PrefetchOrder;
@@ -62,9 +61,9 @@ pub struct MarkovStats {
 pub struct MarkovEngine {
     config: MarkovConfig,
     /// MRU-ordered successor lists.
-    table: BTreeMap<(Pid, Vpn), Vec<Vpn>>,
+    table: DetMap<(Pid, Vpn), Vec<Vpn>>,
     /// Last hot page seen per process.
-    last: BTreeMap<Pid, Vpn>,
+    last: DetMap<Pid, Vpn>,
     stats: MarkovStats,
 }
 
@@ -79,8 +78,8 @@ impl MarkovEngine {
         assert!(config.depth >= 1, "depth must be at least 1");
         MarkovEngine {
             config,
-            table: BTreeMap::new(),
-            last: BTreeMap::new(),
+            table: DetMap::new(),
+            last: DetMap::new(),
             stats: MarkovStats::default(),
         }
     }

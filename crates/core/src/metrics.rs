@@ -12,8 +12,7 @@
 //! insert, hit = swapcache take), so every system is scored by the same
 //! definitions.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::DetMap;
 use hopp_obs::{Histogram, HistogramSummary};
 use hopp_types::{Nanos, Pid, Vpn};
 
@@ -61,7 +60,7 @@ pub struct PrefetchMetrics {
     prefetch_hits: u64,
     demand_remote: u64,
     wasted: u64,
-    pending: BTreeMap<(Pid, Vpn), Nanos>,
+    pending: DetMap<(Pid, Vpn), Nanos>,
     timeliness: Histogram,
 }
 
@@ -198,15 +197,15 @@ impl PrefetchMetrics {
         self.wasted += other.wasted;
         self.timeliness.merge(&other.timeliness);
         for (k, v) in &other.pending {
-            match self.pending.entry(*k) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(*v);
-                }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
+            match self.pending.get_mut(&k) {
+                Some(cur) => {
                     self.wasted += 1;
-                    if *v > *e.get() {
-                        e.insert(*v);
+                    if *v > *cur {
+                        *cur = *v;
                     }
+                }
+                None => {
+                    self.pending.insert(k, *v);
                 }
             }
         }

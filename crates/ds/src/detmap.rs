@@ -1,0 +1,479 @@
+//! [`DetMap`]: seeded open-addressing hash map with insertion-order
+//! iteration.
+
+use crate::{mix64, DetKey};
+
+/// "No entry" sentinel for the index table and the order links.
+const NIL: u32 = u32::MAX;
+
+/// Initial index-table size (slots) on first insert.
+const MIN_SLOTS: usize = 8;
+
+/// Default hash seed — any fixed constant keeps the map deterministic;
+/// this one is the SplitMix64 golden-ratio increment.
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One occupied entry: key/value plus its position in the
+/// insertion-order doubly-linked list.
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    /// Previous entry in insertion order (`NIL` for the oldest).
+    prev: u32,
+    /// Next entry in insertion order (`NIL` for the newest).
+    next: u32,
+}
+
+/// A deterministic hash map: SplitMix64-seeded linear probing with
+/// backward-shift deletion over flat `Vec`s, iterating in **insertion
+/// order**.
+///
+/// Determinism: the hash seed is a compile-time constant (or an
+/// explicit caller-provided seed), so slot assignment, growth and
+/// iteration order depend only on the operation sequence — never on OS
+/// entropy or allocation addresses. Overwriting an existing key keeps
+/// its original position in the iteration order (like `indexmap`);
+/// removal does not disturb the order of the remaining entries.
+///
+/// The entry slab is kept dense with swap-remove, so memory is
+/// proportional to `len`, and cleared capacity is reused.
+///
+/// # Example
+///
+/// ```
+/// use hopp_ds::DetMap;
+///
+/// let mut m: DetMap<u64, &str> = DetMap::new();
+/// m.insert(30, "c");
+/// m.insert(10, "a");
+/// m.insert(20, "b");
+/// m.remove(&10);
+/// let keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, [30, 20]); // insertion order, not key order
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetMap<K, V> {
+    /// Dense slab of live entries.
+    entries: Vec<Entry<K, V>>,
+    /// Open-addressed table: slot → entry index, or `NIL`.
+    index: Vec<u32>,
+    /// `index.len() - 1`; the table size is always a power of two.
+    mask: usize,
+    /// Oldest entry (start of iteration).
+    head: u32,
+    /// Newest entry.
+    tail: u32,
+    seed: u64,
+}
+
+impl<K: DetKey, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: DetKey, V> DetMap<K, V> {
+    /// Creates an empty map with the default fixed seed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(DEFAULT_SEED)
+    }
+
+    /// Creates an empty map hashing with `seed`. Two maps with the same
+    /// seed and operation sequence are identical; different seeds only
+    /// change bucket assignment, never observable behaviour.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        DetMap {
+            entries: Vec::new(),
+            index: Vec::new(),
+            mask: 0,
+            head: NIL,
+            tail: NIL,
+            seed,
+        }
+    }
+
+    /// Creates an empty map pre-sized for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut m = Self::new();
+        m.entries.reserve(capacity);
+        let slots = (capacity * 8 / 7 + 1).next_power_of_two().max(MIN_SLOTS);
+        m.index = vec![NIL; slots];
+        m.mask = slots - 1;
+        m
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.fill(NIL);
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn hash(&self, key: &K) -> u64 {
+        mix64(self.seed ^ key.det_key())
+    }
+
+    /// Finds `key`'s slot: `Ok(slot)` when present, `Err(first empty
+    /// slot on its probe path)` when absent.
+    fn probe(&self, key: &K) -> Result<usize, usize> {
+        debug_assert!(!self.index.is_empty());
+        let mut slot = (self.hash(key) as usize) & self.mask;
+        loop {
+            match self.index[slot] {
+                NIL => return Err(slot),
+                e if self.entries[e as usize].key == *key => return Ok(slot),
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Looks up a value.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = self.probe(key).ok()?;
+        Some(&self.entries[self.index[slot] as usize].value)
+    }
+
+    /// Looks up a value mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = self.probe(key).ok()?;
+        Some(&mut self.entries[self.index[slot] as usize].value)
+    }
+
+    /// True if `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        !self.entries.is_empty() && self.probe(key).is_ok()
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key
+    /// was present (its position in the iteration order is kept).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.grow_if_needed();
+        match self.probe(&key) {
+            Ok(slot) => {
+                let e = self.index[slot] as usize;
+                Some(core::mem::replace(&mut self.entries[e].value, value))
+            }
+            Err(slot) => {
+                let idx = self.entries.len() as u32;
+                self.entries.push(Entry {
+                    key,
+                    value,
+                    prev: self.tail,
+                    next: NIL,
+                });
+                if self.tail == NIL {
+                    self.head = idx;
+                } else {
+                    self.entries[self.tail as usize].next = idx;
+                }
+                self.tail = idx;
+                self.index[slot] = idx;
+                None
+            }
+        }
+    }
+
+    /// Returns a mutable reference to `key`'s value, inserting
+    /// `default()` first if absent (the `entry().or_insert_with()`
+    /// pattern).
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        self.grow_if_needed();
+        let e = match self.probe(&key) {
+            Ok(slot) => self.index[slot] as usize,
+            Err(_) => {
+                self.insert(key, default());
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[e].value
+    }
+
+    /// Removes `key`, returning its value. The insertion order of the
+    /// remaining entries is unchanged.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = self.probe(key).ok()?;
+        let idx = self.index[slot] as usize;
+        self.backshift(slot);
+        self.unlink(idx as u32);
+        let removed = self.entries.swap_remove(idx);
+        let moved_from = self.entries.len();
+        if idx != moved_from {
+            // The former last entry now lives at `idx`: repoint its
+            // index slot and its order-list neighbours.
+            self.repoint(moved_from as u32, idx as u32);
+        }
+        Some(removed.value)
+    }
+
+    /// Unlinks entry `idx` from the insertion-order list.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = &self.entries[idx as usize];
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next as usize].prev = prev;
+        }
+    }
+
+    /// After `swap_remove` moved the entry at slab position `old` to
+    /// `new`, fixes every structure that referred to `old`.
+    fn repoint(&mut self, old: u32, new: u32) {
+        let (key, prev, next) = {
+            let e = &self.entries[new as usize];
+            (e.key, e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = new;
+        } else {
+            self.entries[prev as usize].next = new;
+        }
+        if next == NIL {
+            self.tail = new;
+        } else {
+            self.entries[next as usize].prev = new;
+        }
+        // Find the index slot that still points at the old position.
+        let mut slot = (self.hash(&key) as usize) & self.mask;
+        loop {
+            if self.index[slot] == old {
+                self.index[slot] = new;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Backward-shift deletion: closes the hole at `slot` by moving
+    /// later probe-chain members up, so lookups never need tombstones.
+    fn backshift(&mut self, mut hole: usize) {
+        let mut cur = hole;
+        loop {
+            cur = (cur + 1) & self.mask;
+            let e = self.index[cur];
+            if e == NIL {
+                self.index[hole] = NIL;
+                return;
+            }
+            let home = (self.hash(&self.entries[e as usize].key) as usize) & self.mask;
+            // `e` may move into the hole iff its home slot is not
+            // after the hole on the (cyclic) probe path.
+            let dist_home = cur.wrapping_sub(home) & self.mask;
+            let dist_hole = cur.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.index[hole] = e;
+                hole = cur;
+            }
+        }
+    }
+
+    /// Grows the index table when the load factor would exceed 7/8.
+    fn grow_if_needed(&mut self) {
+        if self.index.is_empty() {
+            self.index = vec![NIL; MIN_SLOTS];
+            self.mask = MIN_SLOTS - 1;
+            return;
+        }
+        if (self.entries.len() + 1) * 8 <= self.index.len() * 7 {
+            return;
+        }
+        let slots = self.index.len() * 2;
+        self.index.clear();
+        self.index.resize(slots, NIL);
+        self.mask = slots - 1;
+        for idx in 0..self.entries.len() {
+            let mut slot = (self.hash(&self.entries[idx].key) as usize) & self.mask;
+            while self.index[slot] != NIL {
+                slot = (slot + 1) & self.mask;
+            }
+            self.index[slot] = idx as u32;
+        }
+    }
+
+    /// Iterates `(key, &value)` in insertion order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            map: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+/// Insertion-order iterator over a [`DetMap`].
+pub struct Iter<'a, K, V> {
+    map: &'a DetMap<K, V>,
+    cursor: u32,
+}
+
+impl<'a, K: DetKey, V> Iterator for Iter<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let e = &self.map.entries[self.cursor as usize];
+        self.cursor = e.next;
+        Some((e.key, &e.value))
+    }
+}
+
+impl<'a, K: DetKey, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(&11));
+        assert_eq!(m.remove(&1), Some(11));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered_across_growth() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        let keys: Vec<u64> = (0..1000).map(|i| (i * 2654435761) % 100_000).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i as u64);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let expect: Vec<u64> = keys.iter().copied().filter(|k| seen.insert(*k)).collect();
+        let got: Vec<u64> = m.keys().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn removal_preserves_order_of_remaining() {
+        let mut m: DetMap<u64, &str> = DetMap::new();
+        for k in [5, 3, 9, 1, 7] {
+            m.insert(k, "x");
+        }
+        m.remove(&9);
+        m.remove(&5);
+        let got: Vec<u64> = m.keys().collect();
+        assert_eq!(got, [3, 1, 7]);
+    }
+
+    #[test]
+    fn overwrite_keeps_original_position() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        m.insert(1, 0);
+        m.insert(2, 0);
+        m.insert(1, 9);
+        assert_eq!(m.keys().collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn get_or_insert_with_is_entry_like() {
+        let mut m: DetMap<u16, Vec<u32>> = DetMap::new();
+        m.get_or_insert_with(1, Vec::new).push(10);
+        m.get_or_insert_with(1, Vec::new).push(20);
+        assert_eq!(m.get(&1), Some(&vec![10, 20]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_works_after() {
+        let mut m: DetMap<u64, u64> = DetMap::with_capacity(100);
+        let slots = m.index.len();
+        for k in 0..50 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.index.len(), slots, "clear must not shrink the table");
+        m.insert(7, 7);
+        assert_eq!(m.get(&7), Some(&7));
+    }
+
+    #[test]
+    fn churn_does_not_grow_the_slab() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        let cap = m.entries.capacity();
+        for round in 0..1000u64 {
+            m.remove(&(round % 100));
+            m.insert(round % 100, round);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.entries.capacity(), cap, "churn must reuse slab space");
+    }
+
+    #[test]
+    fn two_maps_same_ops_identical_iteration() {
+        let ops: Vec<(u64, bool)> = (0..500).map(|i| (i * 7 % 97, i % 3 != 0)).collect();
+        let mut a: DetMap<u64, u64> = DetMap::new();
+        let mut b: DetMap<u64, u64> = DetMap::new();
+        for m in [&mut a, &mut b] {
+            for &(k, ins) in &ops {
+                if ins {
+                    m.insert(k, k);
+                } else {
+                    m.remove(&k);
+                }
+            }
+        }
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

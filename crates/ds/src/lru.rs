@@ -1,0 +1,324 @@
+//! [`Lru`]: an intrusive doubly-linked recency list over a slab.
+
+use crate::PageIndex;
+
+/// "No node" sentinel for links and the key index.
+const NIL: u32 = u32::MAX;
+
+/// One list node. Freed nodes are chained through `next` on a free
+/// list; `key` is stale while free.
+#[derive(Clone, Copy, Debug)]
+struct Node<K> {
+    key: K,
+    /// Toward the MRU end (`NIL` for the MRU itself).
+    prev: u32,
+    /// Toward the LRU end (`NIL` for the LRU itself), or the next free
+    /// node while on the free list.
+    next: u32,
+}
+
+/// An LRU recency list with O(1) insert, touch, remove and evict.
+///
+/// Nodes live in a slab (`Vec`) and are located by a dense direct-index
+/// table keyed by [`PageIndex`], so every operation is a couple of
+/// array indexes — no hashing, no tree rebalancing, no per-node
+/// allocation after warm-up. This replaces the stamp-ordered
+/// `BTreeMap<u64, Ppn>` lists in `hopp_kernel::lru`, which paid
+/// O(log n) per touch and allocated a tree node per insert.
+///
+/// Recency semantics match the stamp lists exactly: [`Lru::insert_mru`]
+/// places (or moves) a key at the most-recent end, [`Lru::pop_lru`]
+/// removes from the least-recent end, so eviction order is identical.
+///
+/// # Example
+///
+/// ```
+/// use hopp_ds::Lru;
+/// use hopp_types::Ppn;
+///
+/// let mut lru: Lru<Ppn> = Lru::new();
+/// lru.insert_mru(Ppn::new(1));
+/// lru.insert_mru(Ppn::new(2));
+/// lru.touch(Ppn::new(1)); // 2 is now the oldest
+/// assert_eq!(lru.pop_lru(), Some(Ppn::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lru<K> {
+    nodes: Vec<Node<K>>,
+    /// `index[key.page_index()]` → node, or `NIL`.
+    index: Vec<u32>,
+    /// Most recently used.
+    head: u32,
+    /// Least recently used.
+    tail: u32,
+    /// Free-list head into `nodes`.
+    free: u32,
+    len: usize,
+}
+
+impl<K: PageIndex> Default for Lru<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: PageIndex> Lru<K> {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Lru {
+            nodes: Vec::new(),
+            index: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of tracked keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `key` is tracked.
+    #[must_use]
+    pub fn contains(&self, key: K) -> bool {
+        self.slot(key) != NIL
+    }
+
+    /// The least-recently-used key, without removing it.
+    #[must_use]
+    pub fn lru(&self) -> Option<K> {
+        (self.tail != NIL).then(|| self.nodes[self.tail as usize].key)
+    }
+
+    /// The most-recently-used key.
+    #[must_use]
+    pub fn mru(&self) -> Option<K> {
+        (self.head != NIL).then(|| self.nodes[self.head as usize].key)
+    }
+
+    fn slot(&self, key: K) -> u32 {
+        self.index.get(key.page_index()).copied().unwrap_or(NIL)
+    }
+
+    /// Inserts `key` at the most-recent end; if already tracked, moves
+    /// it there. Returns `true` when the key was newly inserted.
+    pub fn insert_mru(&mut self, key: K) -> bool {
+        let existing = self.slot(key);
+        if existing != NIL {
+            self.detach(existing);
+            self.attach_head(existing);
+            return false;
+        }
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        let ki = key.page_index();
+        if ki >= self.index.len() {
+            self.index.resize(ki + 1, NIL);
+        }
+        self.index[ki] = idx;
+        self.attach_head(idx);
+        self.len += 1;
+        true
+    }
+
+    /// Moves `key` to the most-recent end. Returns `false` (and does
+    /// nothing) if it is not tracked.
+    pub fn touch(&mut self, key: K) -> bool {
+        let idx = self.slot(key);
+        if idx == NIL {
+            return false;
+        }
+        self.detach(idx);
+        self.attach_head(idx);
+        true
+    }
+
+    /// Stops tracking `key`. Returns whether it was tracked.
+    pub fn remove(&mut self, key: K) -> bool {
+        let idx = self.slot(key);
+        if idx == NIL {
+            return false;
+        }
+        self.detach(idx);
+        self.release(idx, key);
+        true
+    }
+
+    /// Removes and returns the least-recently-used key.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        let idx = self.tail;
+        if idx == NIL {
+            return None;
+        }
+        let key = self.nodes[idx as usize].key;
+        self.detach(idx);
+        self.release(idx, key);
+        Some(key)
+    }
+
+    /// Forgets everything, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.index.fill(NIL);
+        self.head = NIL;
+        self.tail = NIL;
+        self.free = NIL;
+        self.len = 0;
+    }
+
+    /// Iterates keys from least- to most-recently used (the order the
+    /// stamp-map `values()` iteration produced).
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        let mut cursor = self.tail;
+        core::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let node = &self.nodes[cursor as usize];
+            cursor = node.prev;
+            Some(node.key)
+        })
+    }
+
+    fn attach_head(&mut self, idx: u32) {
+        let old = self.head;
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.prev = NIL;
+            n.next = old;
+        }
+        if old != NIL {
+            self.nodes[old as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Puts a detached node on the free list and clears the key index.
+    fn release(&mut self, idx: u32, key: K) {
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+        self.index[key.page_index()] = NIL;
+        self.len -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_oldest_first() {
+        let mut lru: Lru<usize> = Lru::new();
+        for k in [1, 2, 3] {
+            lru.insert_mru(k);
+        }
+        assert_eq!(lru.pop_lru(), Some(1));
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(3));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_promotes() {
+        let mut lru: Lru<usize> = Lru::new();
+        for k in [1, 2, 3] {
+            lru.insert_mru(k);
+        }
+        assert!(lru.touch(1));
+        assert_eq!(lru.lru(), Some(2));
+        assert_eq!(lru.mru(), Some(1));
+        assert!(!lru.touch(99));
+    }
+
+    #[test]
+    fn reinsert_moves_to_mru() {
+        let mut lru: Lru<usize> = Lru::new();
+        lru.insert_mru(1);
+        lru.insert_mru(2);
+        assert!(!lru.insert_mru(1), "reinsert is a move, not a new entry");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.pop_lru(), Some(2));
+    }
+
+    #[test]
+    fn remove_and_slab_reuse() {
+        let mut lru: Lru<usize> = Lru::new();
+        for k in 0..100 {
+            lru.insert_mru(k);
+        }
+        let cap = lru.nodes.capacity();
+        for k in 0..100 {
+            assert!(lru.remove(k));
+            assert!(!lru.remove(k));
+            lru.insert_mru(k);
+        }
+        assert_eq!(lru.len(), 100);
+        assert_eq!(lru.nodes.capacity(), cap, "churn must reuse slab nodes");
+    }
+
+    #[test]
+    fn iter_is_lru_to_mru() {
+        let mut lru: Lru<usize> = Lru::new();
+        for k in [4, 7, 2] {
+            lru.insert_mru(k);
+        }
+        lru.touch(7);
+        assert_eq!(lru.iter().collect::<Vec<_>>(), [4, 2, 7]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru: Lru<usize> = Lru::new();
+        lru.insert_mru(5);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.contains(5));
+        lru.insert_mru(5);
+        assert_eq!(lru.pop_lru(), Some(5));
+    }
+}

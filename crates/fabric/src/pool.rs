@@ -1,6 +1,6 @@
 //! The sharded memory pool: N nodes, placement, replication, failover.
 
-use std::collections::BTreeMap;
+use hopp_ds::DetMap;
 
 use hopp_net::{RdmaConfig, RdmaEngine, RdmaStats};
 use hopp_obs::{Event, NodeHistograms, NodeLatencySummary, Recorder};
@@ -110,7 +110,7 @@ pub struct MemoryPool {
     config: FabricConfig,
     nodes: Vec<Node>,
     placer: Placer,
-    placements: BTreeMap<(Pid, Vpn), usize>,
+    placements: DetMap<(Pid, Vpn), usize>,
     has_faults: bool,
     failovers: u64,
     failed_writes: u64,
@@ -124,7 +124,7 @@ impl MemoryPool {
             config,
             nodes: (0..config.nodes).map(|_| Node::new(rdma)).collect(),
             placer: Placer::new(config.placement, config.nodes),
-            placements: BTreeMap::new(),
+            placements: DetMap::new(),
             has_faults: false,
             failovers: 0,
             failed_writes: 0,
@@ -138,7 +138,7 @@ impl MemoryPool {
             config,
             nodes: vec![Node::new(rdma)],
             placer: Placer::new(config.placement, config.nodes),
-            placements: BTreeMap::new(),
+            placements: DetMap::new(),
             has_faults: false,
             failovers: 0,
             failed_writes: 0,

@@ -14,8 +14,7 @@
 //! only updated lazily when the cache writes back dirty entries, as in
 //! the paper.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::PageMap;
 use hopp_mem::PteListener;
 use hopp_types::{Error, PageFlags, Pid, Ppn, Result, Vpn};
 
@@ -154,7 +153,7 @@ const INVALID_WAY: CacheWay = CacheWay {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReversePageTable {
-    dram: BTreeMap<Ppn, RptEntry>,
+    dram: PageMap<Ppn, RptEntry>,
     sets: Vec<Vec<CacheWay>>,
     set_mask: u64,
     clock: u64,
@@ -170,7 +169,7 @@ impl ReversePageTable {
     pub fn new(config: RptCacheConfig) -> Result<Self> {
         let sets = config.sets()?;
         Ok(ReversePageTable {
-            dram: BTreeMap::new(),
+            dram: PageMap::new(),
             sets: vec![vec![INVALID_WAY; config.ways]; sets],
             set_mask: sets as u64 - 1,
             clock: 0,
@@ -235,7 +234,7 @@ impl ReversePageTable {
                     self.dram.insert(victim.ppn, e);
                 }
                 None => {
-                    self.dram.remove(&victim.ppn);
+                    self.dram.remove(victim.ppn);
                 }
             }
             self.stats.dram_writebacks += 1;
@@ -266,7 +265,7 @@ impl ReversePageTable {
         }
         // Miss: read the DRAM copy and fill.
         self.stats.dram_reads += 1;
-        let entry = self.dram.get(&ppn).copied();
+        let entry = self.dram.get(ppn).copied();
         if entry.is_none() {
             self.stats.unresolved += 1;
         }
@@ -285,7 +284,7 @@ impl ReversePageTable {
                 return;
             }
         }
-        if let Some(e) = self.dram.get(&ppn).copied() {
+        if let Some(e) = self.dram.get(ppn).copied() {
             self.cache_fill(ppn, Some(RptEntry { flags, ..e }), true);
         }
     }

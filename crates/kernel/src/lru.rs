@@ -9,8 +9,7 @@
 //! time, while an unconsumed swapcache page sits on the inactive list
 //! and is cheap to drop.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::{Lru, PageMap};
 use hopp_types::Ppn;
 
 /// Which list a page lives on.
@@ -24,9 +23,11 @@ pub enum LruTier {
 
 /// The two LRU lists.
 ///
-/// Implemented as stamp-ordered maps: O(log n) touch/evict with exact
-/// LRU order, which is close enough to the kernel's clock-ish
-/// approximation for simulation purposes.
+/// Implemented as two intrusive [`hopp_ds::Lru`] recency lists plus a
+/// per-frame tier table: O(1) touch/evict with exact LRU order, which
+/// is close enough to the kernel's clock-ish approximation for
+/// simulation purposes. (Before the `hopp-ds` migration these were
+/// three stamp-ordered `BTreeMap`s paying O(log n) per operation.)
 ///
 /// # Example
 ///
@@ -42,10 +43,9 @@ pub enum LruTier {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LruLists {
-    stamps: BTreeMap<Ppn, (u64, LruTier)>,
-    active: BTreeMap<u64, Ppn>,
-    inactive: BTreeMap<u64, Ppn>,
-    counter: u64,
+    active: Lru<Ppn>,
+    inactive: Lru<Ppn>,
+    tier: PageMap<Ppn, LruTier>,
 }
 
 impl LruLists {
@@ -54,7 +54,7 @@ impl LruLists {
         Self::default()
     }
 
-    fn list_mut(&mut self, tier: LruTier) -> &mut BTreeMap<u64, Ppn> {
+    fn list_mut(&mut self, tier: LruTier) -> &mut Lru<Ppn> {
         match tier {
             LruTier::Active => &mut self.active,
             LruTier::Inactive => &mut self.inactive,
@@ -67,28 +67,27 @@ impl LruLists {
     /// instead.
     pub fn insert(&mut self, ppn: Ppn, tier: LruTier) {
         self.remove(ppn);
-        self.counter += 1;
-        let stamp = self.counter;
-        self.list_mut(tier).insert(stamp, ppn);
-        self.stamps.insert(ppn, (stamp, tier));
+        self.list_mut(tier).insert_mru(ppn);
+        self.tier.insert(ppn, tier);
     }
 
     /// Records a use of `ppn`, promoting it to the head of the active
     /// list (a second touch activates an inactive page, as in Linux).
     /// No-op for untracked pages.
     pub fn touch(&mut self, ppn: Ppn) {
-        if self.stamps.contains_key(&ppn) {
+        if self.tier.contains_key(ppn) {
             self.insert(ppn, LruTier::Active);
         }
     }
 
     /// Stops tracking `ppn`. Returns whether it was tracked.
     pub fn remove(&mut self, ppn: Ppn) -> bool {
-        if let Some((stamp, tier)) = self.stamps.remove(&ppn) {
-            self.list_mut(tier).remove(&stamp);
-            true
-        } else {
-            false
+        match self.tier.remove(ppn) {
+            Some(tier) => {
+                self.list_mut(tier).remove(ppn);
+                true
+            }
+            None => false,
         }
     }
 
@@ -96,11 +95,7 @@ impl LruLists {
     /// the oldest active page if the inactive list is empty. The page is
     /// *not* removed.
     pub fn evict_candidate(&self) -> Option<Ppn> {
-        self.inactive
-            .values()
-            .next()
-            .or_else(|| self.active.values().next())
-            .copied()
+        self.inactive.lru().or_else(|| self.active.lru())
     }
 
     /// Removes and returns the eviction candidate.
@@ -115,26 +110,28 @@ impl LruLists {
     ///
     /// [`Event::Reclaim`]: hopp_obs::Event::Reclaim
     pub fn pop_evict_from(&mut self) -> Option<(Ppn, LruTier)> {
-        let ppn = self.evict_candidate()?;
-        // hopp-check: allow(panic-policy): evict_candidate just returned this page from one of the two lists
-        let tier = self.tier_of(ppn).expect("candidate is tracked");
-        self.remove(ppn);
-        Some((ppn, tier))
+        if let Some(ppn) = self.inactive.pop_lru() {
+            self.tier.remove(ppn);
+            return Some((ppn, LruTier::Inactive));
+        }
+        let ppn = self.active.pop_lru()?;
+        self.tier.remove(ppn);
+        Some((ppn, LruTier::Active))
     }
 
     /// The tier a page currently lives on.
     pub fn tier_of(&self, ppn: Ppn) -> Option<LruTier> {
-        self.stamps.get(&ppn).map(|(_, t)| *t)
+        self.tier.get(ppn).copied()
     }
 
     /// Total tracked pages.
     pub fn len(&self) -> usize {
-        self.stamps.len()
+        self.tier.len()
     }
 
     /// True when no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.stamps.is_empty()
+        self.tier.is_empty()
     }
 
     /// Pages on the inactive list.

@@ -6,8 +6,7 @@
 //! slots — which is why the device keeps a reverse map from slot to the
 //! page stored there.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::DetMap;
 use hopp_obs::{Event, NopRecorder, Recorder};
 use hopp_types::{Error, Nanos, Pid, Result, SwapSlot, Vpn};
 
@@ -18,7 +17,7 @@ use crate::prefetcher::SlotView;
 pub struct SwapDevice {
     next: u64,
     free: Vec<SwapSlot>,
-    contents: BTreeMap<SwapSlot, (Pid, Vpn)>,
+    contents: DetMap<SwapSlot, (Pid, Vpn)>,
     /// Remote node capacity in pages (`None` = unbounded). The paper's
     /// memory node offers 6 x 8 GB of DRAM; exhausting it is an
     /// operator error this surfaces.

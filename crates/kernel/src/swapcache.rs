@@ -7,8 +7,7 @@
 //! injection turns would-be prefetch-hits into plain DRAM hits), which
 //! is one of its headline wins (§II-C).
 
-use std::collections::BTreeMap;
-
+use hopp_ds::DetMap;
 use hopp_types::{Nanos, Pid, Ppn, SwapSlot, Vpn};
 
 /// Why a page entered the swapcache.
@@ -61,7 +60,7 @@ pub struct SwapCacheStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SwapCache {
-    entries: BTreeMap<(Pid, Vpn), CacheEntry>,
+    entries: DetMap<(Pid, Vpn), CacheEntry>,
     stats: SwapCacheStats,
 }
 

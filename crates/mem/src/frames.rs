@@ -1,5 +1,6 @@
 //! Local DRAM frame allocation and ownership tracking.
 
+use hopp_ds::PageMap;
 use hopp_types::{Error, Pid, Ppn, Result, Vpn};
 
 /// The pool of local physical frames.
@@ -14,8 +15,10 @@ pub struct FrameAllocator {
     /// Free frame indices (LIFO: recently freed frames are reused first,
     /// which mimics the kernel's per-cpu page caches well enough).
     free: Vec<Ppn>,
-    /// `owner[ppn] = Some((pid, vpn))` for allocated frames.
-    owner: Vec<Option<(Pid, Vpn)>>,
+    /// `owner[ppn] = (pid, vpn)` for allocated frames.
+    owner: PageMap<Ppn, (Pid, Vpn)>,
+    /// Total frames managed (frame indices `0..total`).
+    total: usize,
 }
 
 impl FrameAllocator {
@@ -25,13 +28,14 @@ impl FrameAllocator {
         FrameAllocator {
             // Reverse so that frame 0 is handed out first.
             free: (0..total as u64).rev().map(Ppn::new).collect(),
-            owner: vec![None; total],
+            owner: PageMap::with_capacity_pages(total),
+            total,
         }
     }
 
     /// Total number of frames managed.
     pub fn capacity(&self) -> usize {
-        self.owner.len()
+        self.total
     }
 
     /// Number of frames currently allocated.
@@ -52,7 +56,7 @@ impl FrameAllocator {
     /// caller (the kernel) is expected to reclaim first.
     pub fn alloc(&mut self, pid: Pid, vpn: Vpn) -> Result<Ppn> {
         let ppn = self.free.pop().ok_or(Error::OutOfFrames)?;
-        self.owner[ppn.index()] = Some((pid, vpn));
+        self.owner.insert(ppn, (pid, vpn));
         Ok(ppn)
     }
 
@@ -62,11 +66,7 @@ impl FrameAllocator {
     ///
     /// Returns [`Error::FrameNotOwned`] if the frame was not allocated.
     pub fn free(&mut self, ppn: Ppn) -> Result<()> {
-        let slot = self
-            .owner
-            .get_mut(ppn.index())
-            .ok_or(Error::FrameNotOwned { ppn })?;
-        if slot.take().is_none() {
+        if self.owner.remove(ppn).is_none() {
             return Err(Error::FrameNotOwned { ppn });
         }
         self.free.push(ppn);
@@ -75,16 +75,13 @@ impl FrameAllocator {
 
     /// The `(pid, vpn)` that owns `ppn`, if allocated.
     pub fn owner(&self, ppn: Ppn) -> Option<(Pid, Vpn)> {
-        self.owner.get(ppn.index()).copied().flatten()
+        self.owner.get(ppn).copied()
     }
 
     /// Iterates over all allocated frames and their owners, in frame
     /// order. Used to build the initial RPT.
     pub fn iter_owned(&self) -> impl Iterator<Item = (Ppn, Pid, Vpn)> + '_ {
-        self.owner
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| o.map(|(pid, vpn)| (Ppn::from_index(i), pid, vpn)))
+        self.owner.iter().map(|(ppn, &(pid, vpn))| (ppn, pid, vpn))
     }
 }
 

@@ -22,7 +22,7 @@
 //! let mut frames = FrameAllocator::new(128);
 //! let mut space = AddressSpace::new(Pid::new(1));
 //! let ppn = frames.alloc(Pid::new(1), Vpn::new(7)).unwrap();
-//! space.map_present(Vpn::new(7), ppn, &mut ());
+//! assert!(space.map_present(Vpn::new(7), ppn, &mut ()).is_none());
 //! assert!(matches!(space.lookup(Vpn::new(7)), Some(Mapping::Present(p)) if p.ppn == ppn));
 //! ```
 

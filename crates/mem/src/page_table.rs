@@ -1,7 +1,6 @@
 //! Per-process page tables and the PTE-update hook interface.
 
-use std::collections::BTreeMap;
-
+use hopp_ds::PageMap;
 use hopp_types::{Pid, Ppn, SwapSlot, Vpn};
 
 /// A present page-table entry.
@@ -61,7 +60,7 @@ impl<L: PteListener + ?Sized> PteListener for &mut L {
 #[derive(Clone, Debug)]
 pub struct AddressSpace {
     pid: Pid,
-    map: BTreeMap<Vpn, Mapping>,
+    map: PageMap<Vpn, Mapping>,
     resident: usize,
 }
 
@@ -70,7 +69,7 @@ impl AddressSpace {
     pub fn new(pid: Pid) -> Self {
         AddressSpace {
             pid,
-            map: BTreeMap::new(),
+            map: PageMap::new(),
             resident: 0,
         }
     }
@@ -82,31 +81,45 @@ impl AddressSpace {
 
     /// Looks up the state of a virtual page.
     pub fn lookup(&self, vpn: Vpn) -> Option<Mapping> {
-        self.map.get(&vpn).copied()
+        self.map.get(vpn).copied()
     }
 
     /// Installs a present PTE, notifying `listener`.
     ///
-    /// # Panics
-    ///
-    /// Panics (debug builds) if the page is already present — the caller
-    /// must unmap first; silently remapping would leak a frame.
-    pub fn map_present<L: PteListener>(&mut self, vpn: Vpn, ppn: Ppn, listener: &mut L) {
+    /// Returns the PTE that was displaced if the page was **already
+    /// present** (a double map): the caller must free the returned
+    /// frame or it leaks. The displaced mapping's `pte_clear` fires
+    /// before the new mapping's `pte_set`, in both build profiles —
+    /// this used to be a `debug_assert!`, so release builds silently
+    /// overwrote the mapping and leaked its frame.
+    #[must_use = "a displaced PTE's frame must be freed by the caller"]
+    pub fn map_present<L: PteListener>(
+        &mut self,
+        vpn: Vpn,
+        ppn: Ppn,
+        listener: &mut L,
+    ) -> Option<Pte> {
         let prev = self
             .map
             .insert(vpn, Mapping::Present(Pte { ppn, dirty: false }));
-        debug_assert!(
-            !matches!(prev, Some(Mapping::Present(_))),
-            "double map of {vpn:?}"
-        );
-        self.resident += 1;
+        let displaced = match prev {
+            Some(Mapping::Present(pte)) => {
+                listener.pte_clear(self.pid, vpn, pte.ppn);
+                Some(pte)
+            }
+            _ => {
+                self.resident += 1;
+                None
+            }
+        };
         listener.pte_set(self.pid, vpn, ppn);
+        displaced
     }
 
     /// Marks a present page dirty (a store hit). No-op for non-present
     /// pages.
     pub fn mark_dirty(&mut self, vpn: Vpn) {
-        if let Some(Mapping::Present(pte)) = self.map.get_mut(&vpn) {
+        if let Some(Mapping::Present(pte)) = self.map.get_mut(vpn) {
             pte.dirty = true;
         }
     }
@@ -122,7 +135,7 @@ impl AddressSpace {
         slot: SwapSlot,
         listener: &mut L,
     ) -> Option<Pte> {
-        match self.map.get(&vpn).copied() {
+        match self.map.get(vpn).copied() {
             Some(Mapping::Present(pte)) => {
                 self.map.insert(vpn, Mapping::Swapped(slot));
                 self.resident -= 1;
@@ -136,7 +149,7 @@ impl AddressSpace {
     /// Removes a page entirely (process exit / unmap). Returns the frame
     /// if one was present.
     pub fn unmap<L: PteListener>(&mut self, vpn: Vpn, listener: &mut L) -> Option<Ppn> {
-        match self.map.remove(&vpn) {
+        match self.map.remove(vpn) {
             Some(Mapping::Present(pte)) => {
                 self.resident -= 1;
                 listener.pte_clear(self.pid, vpn, pte.ppn);
@@ -156,10 +169,10 @@ impl AddressSpace {
         self.map.len()
     }
 
-    /// Iterates over present pages (unspecified order).
+    /// Iterates over present pages in ascending `Vpn` order.
     pub fn iter_present(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
         self.map.iter().filter_map(|(vpn, m)| match m {
-            Mapping::Present(pte) => Some((*vpn, *pte)),
+            Mapping::Present(pte) => Some((vpn, *pte)),
             Mapping::Swapped(_) => None,
         })
     }
@@ -193,7 +206,7 @@ mod tests {
         let ppn = Ppn::new(7);
 
         assert_eq!(space.lookup(vpn), None);
-        space.map_present(vpn, ppn, &mut rec);
+        assert!(space.map_present(vpn, ppn, &mut rec).is_none());
         assert_eq!(space.resident_pages(), 1);
         assert!(matches!(space.lookup(vpn), Some(Mapping::Present(p)) if p.ppn == ppn));
 
@@ -211,6 +224,41 @@ mod tests {
     }
 
     #[test]
+    fn remap_returns_displaced_pte_in_every_profile() {
+        let mut rec = Recorder::default();
+        let mut space = AddressSpace::new(Pid::new(1));
+        let vpn = Vpn::new(7);
+        assert!(space.map_present(vpn, Ppn::new(1), &mut rec).is_none());
+        space.mark_dirty(vpn);
+        // Double map: the displaced PTE comes back (dirty bit intact)
+        // so the caller can free or write back its frame. This holds in
+        // debug *and* release builds — the old debug_assert! guard
+        // compiled to nothing in release and the frame leaked silently.
+        let prev = space
+            .map_present(vpn, Ppn::new(2), &mut rec)
+            .expect("displaced PTE");
+        assert_eq!(prev.ppn, Ppn::new(1));
+        assert!(prev.dirty);
+        assert_eq!(
+            space.resident_pages(),
+            1,
+            "a remap must not double-count residency"
+        );
+        assert_eq!(rec.clears, vec![(Pid::new(1), vpn, Ppn::new(1))]);
+        assert_eq!(
+            rec.sets,
+            vec![
+                (Pid::new(1), vpn, Ppn::new(1)),
+                (Pid::new(1), vpn, Ppn::new(2))
+            ]
+        );
+        assert!(matches!(
+            space.lookup(vpn),
+            Some(Mapping::Present(p)) if p.ppn == Ppn::new(2) && !p.dirty
+        ));
+    }
+
+    #[test]
     fn swap_out_of_absent_page_is_none() {
         let mut space = AddressSpace::new(Pid::new(1));
         assert!(space
@@ -222,7 +270,7 @@ mod tests {
     fn dirty_tracking() {
         let mut space = AddressSpace::new(Pid::new(1));
         let vpn = Vpn::new(5);
-        space.map_present(vpn, Ppn::new(1), &mut ());
+        assert!(space.map_present(vpn, Ppn::new(1), &mut ()).is_none());
         space.mark_dirty(vpn);
         let pte = space.swap_out(vpn, SwapSlot::new(0), &mut ()).unwrap();
         assert!(pte.dirty);
@@ -232,7 +280,7 @@ mod tests {
     fn mark_dirty_on_swapped_page_is_noop() {
         let mut space = AddressSpace::new(Pid::new(1));
         let vpn = Vpn::new(5);
-        space.map_present(vpn, Ppn::new(1), &mut ());
+        assert!(space.map_present(vpn, Ppn::new(1), &mut ()).is_none());
         space.swap_out(vpn, SwapSlot::new(0), &mut ()).unwrap();
         space.mark_dirty(vpn); // must not panic or resurrect the mapping
         assert!(matches!(space.lookup(vpn), Some(Mapping::Swapped(_))));
@@ -243,7 +291,7 @@ mod tests {
         let mut rec = Recorder::default();
         let mut space = AddressSpace::new(Pid::new(2));
         let vpn = Vpn::new(8);
-        space.map_present(vpn, Ppn::new(3), &mut rec);
+        assert!(space.map_present(vpn, Ppn::new(3), &mut rec).is_none());
         assert_eq!(space.unmap(vpn, &mut rec), Some(Ppn::new(3)));
         assert_eq!(space.lookup(vpn), None);
         assert_eq!(space.mapped_pages(), 0);
@@ -253,8 +301,12 @@ mod tests {
     #[test]
     fn iter_present_skips_swapped() {
         let mut space = AddressSpace::new(Pid::new(1));
-        space.map_present(Vpn::new(1), Ppn::new(1), &mut ());
-        space.map_present(Vpn::new(2), Ppn::new(2), &mut ());
+        assert!(space
+            .map_present(Vpn::new(1), Ppn::new(1), &mut ())
+            .is_none());
+        assert!(space
+            .map_present(Vpn::new(2), Ppn::new(2), &mut ())
+            .is_none());
         space.swap_out(Vpn::new(1), SwapSlot::new(0), &mut ());
         let present: Vec<_> = space.iter_present().map(|(v, _)| v).collect();
         assert_eq!(present, vec![Vpn::new(2)]);

@@ -298,6 +298,21 @@ impl<T: Eq> CompletionQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` in-flight
+    /// operations before the heap reallocates (hot-path pre-sizing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompletionQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// The queue's current allocation capacity (steady-state allocation
+    /// tests watch this).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Registers an operation completing at `due`.
     pub fn push(&mut self, due: Nanos, payload: T) {
         self.heap.push(Inflight {

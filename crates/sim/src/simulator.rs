@@ -7,6 +7,7 @@ use hopp_core::exec::ExecutionEngine;
 use hopp_core::metrics::PrefetchMetrics;
 use hopp_core::three_tier::Tier;
 use hopp_core::HoppEngine;
+use hopp_ds::{DetMap, PageMap};
 use hopp_fabric::{FaultScript, MemoryPool, RemotePool, REGION_SHIFT};
 use hopp_hw::McPipeline;
 use hopp_kernel::swapcache::CacheFill;
@@ -35,7 +36,7 @@ struct HoppRuntime {
     exec: ExecutionEngine,
     /// Injected pages awaiting their first hit: routes timeliness
     /// feedback and per-tier accounting.
-    injected: BTreeMap<(Pid, Vpn), (hopp_core::StreamId, Tier)>,
+    injected: DetMap<(Pid, Vpn), (hopp_core::StreamId, Tier)>,
     metrics: PrefetchMetrics,
     tier_metrics: [PrefetchMetrics; 3],
 }
@@ -75,22 +76,24 @@ pub struct Simulator {
     /// Per-region stream identity for stream-aware placement, harvested
     /// from HoPP prefetch orders. Maintained only when the placement
     /// policy asks for hints.
-    stream_hints: BTreeMap<(Pid, u64), u64>,
+    stream_hints: DetMap<(Pid, u64), u64>,
     baseline: Box<dyn Prefetcher>,
     /// Uncharged swapcache pages, reclaimed first under global
     /// pressure (the kernel's inactive file/anon behaviour).
     sc_lru: LruLists,
     base_metrics: PrefetchMetrics,
-    base_inflight: BTreeMap<(Pid, Vpn), Nanos>,
+    base_inflight: DetMap<(Pid, Vpn), Nanos>,
     base_cq: CompletionQueue<BaseArrival>,
     hopp: Option<HoppRuntime>,
-    hopp_inflight: BTreeMap<(Pid, Vpn), Nanos>,
+    hopp_inflight: DetMap<(Pid, Vpn), Nanos>,
     apps: Vec<(Pid, AppRuntime)>,
     counters: Counters,
     prefetch_buf: Vec<hopp_kernel::PrefetchRequest>,
+    /// Reused HoPP completion buffer (see [`Self::drain_completions`]).
+    completion_buf: Vec<hopp_core::Completion>,
     /// Last time each resident frame was reported hot by the MC
     /// (consulted by trace-assisted reclaim, §IV).
-    last_hot: BTreeMap<Ppn, Nanos>,
+    last_hot: PageMap<Ppn, Nanos>,
     timeline: Vec<TimelineSample>,
     /// Event recorder (`Off` below [`hopp_obs::ObsLevel::Full`]).
     /// Stored by value so instrumented callees can borrow it disjointly
@@ -145,7 +148,7 @@ impl Simulator {
             SystemConfig::Hopp { config, .. } => Some(HoppRuntime {
                 engine: HoppEngine::try_new(config)?,
                 exec: ExecutionEngine::new(),
-                injected: BTreeMap::new(),
+                injected: DetMap::new(),
                 metrics: PrefetchMetrics::new(),
                 tier_metrics: [
                     PrefetchMetrics::new(),
@@ -172,18 +175,19 @@ impl Simulator {
                 None => SwapDevice::new(),
             },
             pool: MemoryPool::new(config.rdma, config.fabric)?,
-            stream_hints: BTreeMap::new(),
+            stream_hints: DetMap::new(),
             baseline,
             sc_lru: LruLists::new(),
             base_metrics: PrefetchMetrics::new(),
-            base_inflight: BTreeMap::new(),
-            base_cq: CompletionQueue::new(),
+            base_inflight: DetMap::new(),
+            base_cq: CompletionQueue::with_capacity(64),
             hopp,
-            hopp_inflight: BTreeMap::new(),
+            hopp_inflight: DetMap::new(),
             apps: runtimes,
             counters: Counters::default(),
-            prefetch_buf: Vec::new(),
-            last_hot: BTreeMap::new(),
+            prefetch_buf: Vec::with_capacity(64),
+            completion_buf: Vec::with_capacity(64),
+            last_hot: PageMap::new(),
             timeline: Vec::new(),
             recorder: ObsRecorder::for_level(config.obs_level),
             hists: LatencyHistograms::default(),
@@ -501,14 +505,29 @@ impl Simulator {
 
     /// Installs a PTE, charges the cgroup and reclaims if over limit.
     fn map_page(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn) -> Result<()> {
-        self.spaces
+        let displaced = self
+            .spaces
             .get_mut(&pid)
             .ok_or(Error::UnknownProcess { pid })?
             .map_present(vpn, ppn, &mut self.mc);
-        self.lrus
+        let lru = self
+            .lrus
             .get_mut(&pid)
-            .ok_or(Error::UnknownProcess { pid })?
-            .insert(ppn, LruTier::Active);
+            .ok_or(Error::UnknownProcess { pid })?;
+        lru.insert(ppn, LruTier::Active);
+        if let Some(prev) = displaced {
+            // The page was already present (a double map). None of the
+            // current fault paths produce one, but if a future path
+            // does, the displaced frame must be released — it used to
+            // leak silently in release builds — and the cgroup charge
+            // already covers this page, so don't charge again.
+            lru.remove(prev.ppn);
+            self.last_hot.remove(prev.ppn);
+            self.frames.free(prev.ppn)?;
+            self.llc.invalidate_page(prev.ppn);
+            self.mc.on_page_reclaimed(prev.ppn);
+            return Ok(());
+        }
         let over = self
             .cgroups
             .get_mut(&pid)
@@ -686,22 +705,31 @@ impl Simulator {
         while let Some((done, arrival)) = self.base_cq.pop_due(self.clock) {
             self.handle_base_arrival(arrival, done)?;
         }
-        // Not a `while let`: `handle_hopp_completion` needs `&mut self`,
-        // so the borrow of `self.hopp` must end before the body runs.
-        #[allow(clippy::while_let_loop)]
-        loop {
-            let completions = match &mut self.hopp {
-                Some(h) => h.exec.poll(self.clock),
+        // The completion buffer is taken, refilled in place each round
+        // and restored afterwards, so the steady state allocates nothing
+        // per tick. (The borrow of `self.hopp` must still end before
+        // `handle_hopp_completion` runs, hence the poll/handle split.)
+        let mut completions = std::mem::take(&mut self.completion_buf);
+        let mut outcome = Ok(());
+        'drain: loop {
+            completions.clear();
+            match &mut self.hopp {
+                Some(h) => {
+                    if h.exec.poll_into(self.clock, &mut completions) == 0 {
+                        break;
+                    }
+                }
                 None => break,
-            };
-            if completions.is_empty() {
-                break;
             }
-            for c in completions {
-                self.handle_hopp_completion(c)?;
+            for c in completions.drain(..) {
+                if let Err(e) = self.handle_hopp_completion(c) {
+                    outcome = Err(e);
+                    break 'drain;
+                }
             }
         }
-        Ok(())
+        self.completion_buf = completions;
+        outcome
     }
 
     fn handle_base_arrival(&mut self, arrival: BaseArrival, done: Nanos) -> Result<()> {
@@ -918,7 +946,7 @@ impl Simulator {
                     .record(self.clock, Event::PrefetchWasted { pid, vpn });
             }
         }
-        self.last_hot.remove(&ppn);
+        self.last_hot.remove(ppn);
         self.frames.free(ppn)?;
         self.llc.invalidate_page(ppn);
         self.mc.on_page_reclaimed(ppn);
@@ -964,7 +992,7 @@ impl Simulator {
             };
             let hot_recently = self
                 .last_hot
-                .get(&ppn)
+                .get(ppn)
                 .is_some_and(|t| self.clock.saturating_since(*t) < window);
             if hot_recently {
                 self.lrus

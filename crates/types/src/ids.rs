@@ -60,6 +60,21 @@ impl Vpn {
     pub fn offset_saturating(self, delta: i64) -> Vpn {
         Vpn(self.0.saturating_add_signed(delta))
     }
+
+    /// The page index as a `usize`, for indexing page tables.
+    ///
+    /// This is the sanctioned way to use a `Vpn` as a table index; raw
+    /// `as` casts on [`Vpn::raw`] are rejected by the unit-hygiene rule
+    /// of `cargo xtask check`.
+    #[allow(clippy::cast_possible_truncation)]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The page at position `index` of a page table.
+    pub const fn from_index(index: usize) -> Self {
+        Vpn(index as u64)
+    }
 }
 
 impl fmt::Debug for Vpn {
@@ -373,6 +388,8 @@ mod tests {
     #[test]
     fn index_conversions_roundtrip() {
         assert_eq!(Ppn::from_index(42).index(), 42);
+        assert_eq!(Vpn::from_index(42).index(), 42);
+        assert_eq!(Vpn::from_index(42), Vpn::new(42));
         assert_eq!(Ppn::from_index(42), Ppn::new(42));
         assert_eq!(NodeId::from_index(7).index(), 7);
         assert_eq!(NodeId::from_index(7), NodeId::new(7));

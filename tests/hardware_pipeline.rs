@@ -31,7 +31,10 @@ impl Rig {
 
     fn map(&mut self, vpn: u64) {
         let ppn = self.frames.alloc(Pid::new(9), Vpn::new(vpn)).unwrap();
-        self.space.map_present(Vpn::new(vpn), ppn, &mut self.mc);
+        assert!(self
+            .space
+            .map_present(Vpn::new(vpn), ppn, &mut self.mc)
+            .is_none());
     }
 
     /// Touches `lines` cachelines of a mapped page; returns hot events.
@@ -104,7 +107,10 @@ fn swap_out_updates_rpt_through_the_hook() {
     // The frame is recycled for a different page of the same process.
     let ppn2 = rig.frames.alloc(Pid::new(9), Vpn::new(400)).unwrap();
     assert_eq!(ppn2, pte.ppn, "LIFO frame reuse");
-    rig.space.map_present(Vpn::new(400), ppn2, &mut rig.mc);
+    assert!(rig
+        .space
+        .map_present(Vpn::new(400), ppn2, &mut rig.mc)
+        .is_none());
     let hot = rig.touch(400, 16);
     assert_eq!(hot.len(), 1);
     assert_eq!(hot[0].vpn, Vpn::new(400), "RPT resolves the new owner");
@@ -118,7 +124,9 @@ fn rpt_bootstrap_covers_preexisting_mappings() {
     let mut quiet_mc = ();
     for vpn in 0..4u64 {
         let ppn = frames.alloc(Pid::new(3), Vpn::new(vpn)).unwrap();
-        space.map_present(Vpn::new(vpn), ppn, &mut quiet_mc);
+        assert!(space
+            .map_present(Vpn::new(vpn), ppn, &mut quiet_mc)
+            .is_none());
     }
     // HoPP boots: it walks the page tables (the frame owner table).
     let mut mc = McPipeline::new(HpdConfig::with_threshold(1), RptCacheConfig::default()).unwrap();
