@@ -63,10 +63,10 @@ fn main() {
         );
     });
     bench("table2/kmeans_sweep", || {
-        black_box(experiments::table2(&scale()));
+        black_box(experiments::table2(&scale()).unwrap());
     });
     bench("table3/rpt_hit_sweep", || {
-        black_box(experiments::table3(&scale()));
+        black_box(experiments::table3(&scale()).unwrap());
     });
     bench("fig18/mg_three_tier", || {
         black_box(
@@ -81,6 +81,6 @@ fn main() {
         );
     });
     bench("fig22/microbench_suite", || {
-        black_box(experiments::fig22(&scale()));
+        black_box(experiments::fig22(&scale()).unwrap());
     });
 }

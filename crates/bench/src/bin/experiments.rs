@@ -3,14 +3,22 @@
 //! ```text
 //! cargo run --release -p hopp-bench --bin experiments -- all
 //! cargo run --release -p hopp-bench --bin experiments -- fig9 fig22
-//! cargo run --release -p hopp-bench --bin experiments -- --quick all
+//! cargo run --release -p hopp-bench --bin experiments -- --quick --threads 4 all
+//! cargo run --release -p hopp-bench --bin experiments -- sweep --quick --threads 4
 //! ```
+//!
+//! Experiments run through the hopp-lab pool (`--threads N`, default
+//! 1): each experiment renders into its own buffer and the buffers are
+//! printed in selection order, so output is byte-identical at any
+//! thread count. The `sweep` subcommand runs a (workload × system ×
+//! seed) grid with per-cell disk caching — see `docs/testing.md`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use hopp_bench::experiments as ex;
 use hopp_bench::format::{bar_chart, frac, pct, render_json, render_table};
-use hopp_bench::Scale;
+use hopp_bench::{lab, Scale};
+use hopp_types::Result;
 
 /// `--json`: emit machine-readable rows instead of aligned tables.
 static JSON_MODE: AtomicBool = AtomicBool::new(false);
@@ -61,6 +69,10 @@ const ALL: [&str; 31] = [
 ];
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
@@ -73,11 +85,19 @@ fn main() {
         args.retain(|a| a != "--chart");
     }
     let mut overrides: Vec<(String, u64)> = Vec::new();
+    let mut threads: usize = 1;
     let mut i = 0;
     while i < args.len() {
         if (args[i] == "--seed" || args[i] == "--footprint") && i + 1 < args.len() {
             if let Ok(v) = args[i + 1].parse::<u64>() {
                 overrides.push((args[i].clone(), v));
+                args.drain(i..=i + 1);
+                continue;
+            }
+        }
+        if args[i] == "--threads" && i + 1 < args.len() {
+            if let Ok(v) = args[i + 1].parse::<usize>() {
+                threads = v.max(1);
                 args.drain(i..=i + 1);
                 continue;
             }
@@ -99,9 +119,12 @@ fn main() {
             _ => unreachable!(),
         }
     }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(&args[1..], &scale, threads);
+    }
     if args.is_empty() {
-        eprintln!("usage: experiments [--quick] [--json] <all|throughput|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
-        std::process::exit(2);
+        eprintln!("usage: experiments [--quick] [--json] [--threads N] <all|sweep|throughput|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
+        return 2;
     }
     let selected: Vec<String> = if args.iter().any(|a| a == "all") {
         let mut v: Vec<String> = ALL.iter().map(|s| s.to_string()).collect();
@@ -110,12 +133,144 @@ fn main() {
     } else {
         args
     };
-    for name in selected {
-        run(&name, &scale);
+    // Every experiment renders into its own buffer on the lab pool;
+    // buffers print in selection order, so `--threads N` output is
+    // byte-identical to `--threads 1`.
+    let outputs = lab::run_indexed(threads, selected.len(), |i| run(&selected[i], &scale));
+    let mut failed = 0;
+    for (name, output) in selected.iter().zip(outputs) {
+        match output {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("experiment {name} failed: {e}");
+                failed += 1;
+            }
+        }
     }
+    i32::from(failed > 0)
 }
 
-fn run(name: &str, scale: &Scale) {
+/// Runs the `sweep` subcommand: a (workload × system × seed) grid on
+/// the lab pool with per-cell disk caching.
+fn sweep_main(args: &[String], scale: &Scale, threads: usize) -> i32 {
+    let mut spec = lab::SweepSpec::quick();
+    spec.footprint = scale.footprint;
+    spec.spark_footprint = scale.spark_footprint;
+    spec.threads = threads;
+    spec.cache_dir = Some(std::path::PathBuf::from("target/lab-cache"));
+    let mut out_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = (args[i].as_str(), args.get(i + 1));
+        let mut took_value = true;
+        match (flag, value) {
+            ("--no-cache", _) => {
+                spec.cache_dir = None;
+                took_value = false;
+            }
+            ("--workloads", Some(list)) => {
+                let mut workloads = Vec::new();
+                for name in list.split(',') {
+                    match lab::workload_by_name(name) {
+                        Some(kind) => workloads.push(kind),
+                        None => {
+                            eprintln!("unknown workload: {name}");
+                            return 2;
+                        }
+                    }
+                }
+                spec.workloads = workloads;
+            }
+            ("--systems", Some(list)) => {
+                let mut systems = Vec::new();
+                for name in list.split(',') {
+                    match lab::system_by_name(name) {
+                        Some(system) => systems.push((name.to_string(), system)),
+                        None => {
+                            eprintln!("unknown system: {name}");
+                            return 2;
+                        }
+                    }
+                }
+                spec.systems = systems;
+            }
+            ("--seeds", Some(list)) => {
+                let seeds: std::result::Result<Vec<u64>, _> =
+                    list.split(',').map(str::parse).collect();
+                match seeds {
+                    Ok(seeds) if !seeds.is_empty() => spec.seeds = seeds,
+                    _ => {
+                        eprintln!("--seeds wants a comma-separated list of integers");
+                        return 2;
+                    }
+                }
+            }
+            ("--ratio", Some(v)) => match v.parse::<f64>() {
+                Ok(ratio) if ratio > 0.0 && ratio <= 1.0 => spec.ratio = ratio,
+                _ => {
+                    eprintln!("--ratio wants a fraction in (0, 1]");
+                    return 2;
+                }
+            },
+            ("--cache-dir", Some(dir)) => {
+                spec.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            ("--out", Some(path)) => out_path = Some(path.clone()),
+            ("--trace-out", Some(path)) => trace_out = Some(path.clone()),
+            _ => {
+                eprintln!(
+                    "usage: experiments sweep [--quick] [--threads N] [--workloads a,b] \
+                     [--systems a,b] [--seeds 1,2] [--ratio F] [--cache-dir DIR] [--no-cache] \
+                     [--out FILE] [--trace-out FILE]"
+                );
+                return 2;
+            }
+        }
+        i += if took_value { 2 } else { 1 };
+    }
+    let started = std::time::Instant::now();
+    let outcome = match lab::run_sweep(&spec) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return 1;
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    // Wall-clock and cache status go to stderr only: the artifact must
+    // stay byte-identical across thread counts and cold/warm runs.
+    eprintln!(
+        "sweep: {} cell(s) ({} run, {} cached, {} failed) in {:.0} ms across {} thread(s)",
+        outcome.cells_run + outcome.cells_cached + outcome.cells_failed,
+        outcome.cells_run,
+        outcome.cells_cached,
+        outcome.cells_failed,
+        wall_ms,
+        spec.threads
+    );
+    if let Some(path) = &trace_out {
+        let trace = hopp_obs::events_to_chrome_trace(&outcome.events);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("failed to write {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote {path}");
+    }
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &outcome.json) {
+                eprintln!("failed to write {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", outcome.json),
+    }
+    i32::from(outcome.cells_failed > 0)
+}
+
+fn run(name: &str, scale: &Scale) -> Result<String> {
     match name {
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -141,14 +296,19 @@ fn run(name: &str, scale: &Scale) {
         "fabric" => fabric(scale),
         "faults" => faults(scale),
         "throughput" => throughput(scale),
-        "hwcost" => hwcost(),
-        other => eprintln!("unknown experiment: {other}"),
+        "hwcost" => Ok(hwcost()),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            Ok(String::new())
+        }
     }
 }
 
-fn table2(scale: &Scale) {
-    println!("\n## Table II — hot pages identified / memory accesses (%), by HPD threshold N\n");
-    let data = ex::table2(scale);
+fn table2(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Table II — hot pages identified / memory accesses (%), by HPD threshold N\n\n",
+    );
+    let data = ex::table2(scale)?;
     let ns: Vec<String> = data[0].1.iter().map(|(n, _)| format!("N={n}")).collect();
     let mut header: Vec<&str> = vec!["workload"];
     header.extend(ns.iter().map(|s| s.as_str()));
@@ -160,12 +320,13 @@ fn table2(scale: &Scale) {
             row
         })
         .collect();
-    print!("{}", render(&header, &rows));
+    out.push_str(&render(&header, &rows));
+    Ok(out)
 }
 
-fn table3(scale: &Scale) {
-    println!("\n## Table III — RPT cache hit rate by capacity\n");
-    let data = ex::table3(scale);
+fn table3(scale: &Scale) -> Result<String> {
+    let mut out = String::from("\n## Table III — RPT cache hit rate by capacity\n\n");
+    let data = ex::table3(scale)?;
     let sizes: Vec<String> = data[0].1.iter().map(|(k, _)| format!("{k}KB")).collect();
     let mut header: Vec<&str> = vec!["workload"];
     header.extend(sizes.iter().map(|s| s.as_str()));
@@ -177,12 +338,15 @@ fn table3(scale: &Scale) {
             row
         })
         .collect();
-    print!("{}", render(&header, &rows));
+    out.push_str(&render(&header, &rows));
+    Ok(out)
 }
 
-fn table5(scale: &Scale) {
-    println!("\n## Table V — DRAM bandwidth overhead of HPD writes and RPT queries (%)\n");
-    let rows: Vec<Vec<String>> = ex::table5(scale)
+fn table5(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Table V — DRAM bandwidth overhead of HPD writes and RPT queries (%)\n\n",
+    );
+    let rows: Vec<Vec<String>> = ex::table5(scale)?
         .into_iter()
         .map(|(kind, hpd, rpt)| {
             vec![
@@ -192,14 +356,16 @@ fn table5(scale: &Scale) {
             ]
         })
         .collect();
-    print!("{}", render(&["workload", "HPD", "RPT"], &rows));
+    out.push_str(&render(&["workload", "HPD", "RPT"], &rows));
+    Ok(out)
 }
 
-fn fig9_to_11(scale: &Scale, which: &str) {
-    let (half, quarter) = ex::fig9_matrix(scale);
+fn fig9_to_11(scale: &Scale, which: &str) -> Result<String> {
+    let (half, quarter) = ex::fig9_matrix(scale)?;
+    let mut out = String::new();
     match which {
         "fig9" => {
-            println!("\n## Fig 9 — normalized performance, non-JVM workloads\n");
+            out.push_str("\n## Fig 9 — normalized performance, non-JVM workloads\n\n");
             let header = ["workload", "FS@50%", "HoPP@50%", "FS@25%", "HoPP@25%"];
             let rows: Vec<Vec<String>> = half
                 .iter()
@@ -214,17 +380,17 @@ fn fig9_to_11(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&header, &rows));
+            out.push_str(&render(&header, &rows));
             let avg = |f: &dyn Fn(&ex::PerfRecord) -> f64, v: &[ex::PerfRecord]| {
                 v.iter().map(f).sum::<f64>() / v.len() as f64
             };
-            println!(
-                "avg@50%: fastswap {} hopp {} | avg@25%: fastswap {} hopp {}",
+            out.push_str(&format!(
+                "avg@50%: fastswap {} hopp {} | avg@25%: fastswap {} hopp {}\n",
                 frac(avg(&|r| r.normalized(&r.fastswap), &half)),
                 frac(avg(&|r| r.normalized(&r.hopp), &half)),
                 frac(avg(&|r| r.normalized(&r.fastswap), &quarter)),
                 frac(avg(&|r| r.normalized(&r.hopp), &quarter)),
-            );
+            ));
             if CHART_MODE.load(Ordering::Relaxed) {
                 let mut items = Vec::new();
                 for r in &half {
@@ -237,14 +403,14 @@ fn fig9_to_11(scale: &Scale, which: &str) {
                         r.normalized(&r.hopp),
                     ));
                 }
-                println!(
-                    "\nnormalized performance @50% local:\n{}",
+                out.push_str(&format!(
+                    "\nnormalized performance @50% local:\n{}\n",
                     bar_chart(&items, 40)
-                );
+                ));
             }
         }
         "fig10" => {
-            println!("\n## Fig 10 — prefetch accuracy, non-JVM workloads (50% local)\n");
+            out.push_str("\n## Fig 10 — prefetch accuracy, non-JVM workloads (50% local)\n\n");
             let rows: Vec<Vec<String>> = half
                 .iter()
                 .map(|r| {
@@ -255,10 +421,10 @@ fn fig9_to_11(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+            out.push_str(&render(&["workload", "Fastswap", "HoPP"], &rows));
         }
         _ => {
-            println!("\n## Fig 11 — prefetch coverage, non-JVM workloads (50% local)\n");
+            out.push_str("\n## Fig 11 — prefetch coverage, non-JVM workloads (50% local)\n\n");
             let header = [
                 "workload",
                 "Fastswap",
@@ -278,16 +444,18 @@ fn fig9_to_11(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&header, &rows));
+            out.push_str(&render(&header, &rows));
         }
     }
+    Ok(out)
 }
 
-fn fig12_to_14(scale: &Scale, which: &str) {
-    let recs = ex::fig12_matrix(scale);
+fn fig12_to_14(scale: &Scale, which: &str) -> Result<String> {
+    let recs = ex::fig12_matrix(scale)?;
+    let mut out = String::new();
     match which {
         "fig12" => {
-            println!("\n## Fig 12 — normalized performance, Spark workloads (1/3 local)\n");
+            out.push_str("\n## Fig 12 — normalized performance, Spark workloads (1/3 local)\n\n");
             let rows: Vec<Vec<String>> = recs
                 .iter()
                 .map(|r| {
@@ -298,10 +466,10 @@ fn fig12_to_14(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+            out.push_str(&render(&["workload", "Fastswap", "HoPP"], &rows));
         }
         "fig13" => {
-            println!("\n## Fig 13 — prefetch accuracy, Spark workloads\n");
+            out.push_str("\n## Fig 13 — prefetch accuracy, Spark workloads\n\n");
             let rows: Vec<Vec<String>> = recs
                 .iter()
                 .map(|r| {
@@ -312,10 +480,10 @@ fn fig12_to_14(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+            out.push_str(&render(&["workload", "Fastswap", "HoPP"], &rows));
         }
         _ => {
-            println!("\n## Fig 14 — prefetch coverage, Spark workloads\n");
+            out.push_str("\n## Fig 14 — prefetch coverage, Spark workloads\n\n");
             let rows: Vec<Vec<String>> = recs
                 .iter()
                 .map(|r| {
@@ -326,15 +494,17 @@ fn fig12_to_14(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&["workload", "Fastswap", "HoPP"], &rows));
+            out.push_str(&render(&["workload", "Fastswap", "HoPP"], &rows));
         }
     }
+    Ok(out)
 }
 
-fn fig15(scale: &Scale) {
-    println!("\n## Fig 15 — per-app speedup (CT_fastswap/CT_hopp) when co-running\n");
+fn fig15(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Fig 15 — per-app speedup (CT_fastswap/CT_hopp) when co-running\n\n");
     let mut rows = Vec::new();
-    for (pair, speedups) in ex::fig15(scale) {
+    for (pair, speedups) in ex::fig15(scale)? {
         for (kind, s) in speedups {
             rows.push(vec![
                 pair.clone(),
@@ -343,13 +513,17 @@ fn fig15(scale: &Scale) {
             ]);
         }
     }
-    print!("{}", render(&["pair", "app", "speedup"], &rows));
+    out.push_str(&render(&["pair", "app", "speedup"], &rows));
+    Ok(out)
 }
 
-fn fig16_17(scale: &Scale, which: &str) {
-    let data = ex::fig16_17(scale);
+fn fig16_17(scale: &Scale, which: &str) -> Result<String> {
+    let data = ex::fig16_17(scale)?;
+    let mut out = String::new();
     if which == "fig16" {
-        println!("\n## Fig 16 — normalized performance: Depth-N vs Fastswap vs HoPP (50% local)\n");
+        out.push_str(
+            "\n## Fig 16 — normalized performance: Depth-N vs Fastswap vs HoPP (50% local)\n\n",
+        );
         let header = ["workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"];
         let rows: Vec<Vec<String>> = data
             .iter()
@@ -359,9 +533,11 @@ fn fig16_17(scale: &Scale, which: &str) {
                 cells
             })
             .collect();
-        print!("{}", render(&header, &rows));
+        out.push_str(&render(&header, &rows));
     } else {
-        println!("\n## Fig 17 — remote accesses normalized to Fastswap-without-prefetching\n");
+        out.push_str(
+            "\n## Fig 17 — remote accesses normalized to Fastswap-without-prefetching\n\n",
+        );
         let header = ["workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"];
         let rows: Vec<Vec<String>> = data
             .iter()
@@ -371,15 +547,17 @@ fn fig16_17(scale: &Scale, which: &str) {
                 cells
             })
             .collect();
-        print!("{}", render(&header, &rows));
+        out.push_str(&render(&header, &rows));
     }
+    Ok(out)
 }
 
-fn fig18_20(scale: &Scale, which: &str) {
-    let data = ex::fig18_20(scale);
+fn fig18_20(scale: &Scale, which: &str) -> Result<String> {
+    let data = ex::fig18_20(scale)?;
+    let mut out = String::new();
     match which {
         "fig18" => {
-            println!("\n## Fig 18 — speedup over Fastswap as tiers are added\n");
+            out.push_str("\n## Fig 18 — speedup over Fastswap as tiers are added\n\n");
             let header = ["workload", "SSP", "SSP+LSP", "SSP+LSP+RSP"];
             let rows: Vec<Vec<String>> = data
                 .iter()
@@ -392,10 +570,10 @@ fn fig18_20(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&header, &rows));
+            out.push_str(&render(&header, &rows));
         }
         "fig19" => {
-            println!("\n## Fig 19 — per-tier prefetch accuracy (full system)\n");
+            out.push_str("\n## Fig 19 — per-tier prefetch accuracy (full system)\n\n");
             let header = ["workload", "SSP", "LSP", "RSP"];
             let rows: Vec<Vec<String>> = data
                 .iter()
@@ -408,10 +586,10 @@ fn fig18_20(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&header, &rows));
+            out.push_str(&render(&header, &rows));
         }
         _ => {
-            println!("\n## Fig 20 — coverage contributed by each tier (full system)\n");
+            out.push_str("\n## Fig 20 — coverage contributed by each tier (full system)\n\n");
             let header = ["workload", "SSP", "LSP", "RSP"];
             let rows: Vec<Vec<String>> = data
                 .iter()
@@ -424,14 +602,16 @@ fn fig18_20(scale: &Scale, which: &str) {
                     ]
                 })
                 .collect();
-            print!("{}", render(&header, &rows));
+            out.push_str(&render(&header, &rows));
         }
     }
+    Ok(out)
 }
 
-fn fig21(scale: &Scale) {
-    println!("\n## Fig 21 — normalized performance vs (accuracy, coverage), 50% local\n");
-    let rows: Vec<Vec<String>> = ex::fig21(scale)
+fn fig21(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Fig 21 — normalized performance vs (accuracy, coverage), 50% local\n\n");
+    let rows: Vec<Vec<String>> = ex::fig21(scale)?
         .into_iter()
         .map(|p| {
             vec![
@@ -443,45 +623,44 @@ fn fig21(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &["workload", "system", "accuracy", "coverage", "norm-perf"],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &["workload", "system", "accuracy", "coverage", "norm-perf"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn fig22(scale: &Scale) {
-    println!(
-        "\n## Fig 22 — technique ablation on the §VI-E microbenchmark (speedup vs Fastswap)\n"
+fn fig22(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Fig 22 — technique ablation on the §VI-E microbenchmark (speedup vs Fastswap)\n\n",
     );
-    let rows: Vec<Vec<String>> = ex::fig22(scale)
-        .into_iter()
-        .map(|(name, s)| vec![name.to_string(), pct(s)])
+    let ablation = ex::fig22(scale)?;
+    let rows: Vec<Vec<String>> = ablation
+        .iter()
+        .map(|(name, s)| vec![name.to_string(), pct(*s)])
         .collect();
-    print!("{}", render(&["system", "speedup"], &rows));
+    out.push_str(&render(&["system", "speedup"], &rows));
     if CHART_MODE.load(Ordering::Relaxed) {
-        let items: Vec<(String, f64)> = ex::fig22(scale)
-            .into_iter()
-            .map(|(n, s)| (n.to_string(), s))
-            .collect();
-        println!("\n{}", bar_chart(&items, 30));
+        let items: Vec<(String, f64)> = ablation.iter().map(|(n, s)| (n.to_string(), *s)).collect();
+        out.push_str(&format!("\n{}\n", bar_chart(&items, 30)));
     }
-    println!("\nwith periodic 8x latency bursts (§III-E's volatility):\n");
-    let rows: Vec<Vec<String>> = ex::fig22_volatile(scale)
+    out.push_str("\nwith periodic 8x latency bursts (§III-E's volatility):\n\n");
+    let rows: Vec<Vec<String>> = ex::fig22_volatile(scale)?
         .into_iter()
         .map(|(name, s)| vec![name.to_string(), pct(s)])
         .collect();
-    print!(
-        "{}",
-        render(&["system", "speedup vs Fastswap (volatile)"], &rows)
-    );
+    out.push_str(&render(
+        &["system", "speedup vs Fastswap (volatile)"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn motivate(scale: &Scale) {
-    println!("\n## §II-B study — Leap vs full-trace majority prefetching (SSP-only HoPP)\n");
-    let rows: Vec<Vec<String>> = ex::motivate(scale)
+fn motivate(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## §II-B study — Leap vs full-trace majority prefetching (SSP-only HoPP)\n\n",
+    );
+    let rows: Vec<Vec<String>> = ex::motivate(scale)?
         .into_iter()
         .map(|(kind, leap, full)| {
             vec![
@@ -493,25 +672,24 @@ fn motivate(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "workload",
-                "Leap acc",
-                "Leap cov",
-                "full-trace acc",
-                "full-trace cov"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "workload",
+            "Leap acc",
+            "Leap cov",
+            "full-trace acc",
+            "full-trace cov",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn intensity(scale: &Scale) {
-    println!("\n## Extension — prefetch-intensity sweep (§III-E knob; 50% local)\n");
+fn intensity(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Extension — prefetch-intensity sweep (§III-E knob; 50% local)\n\n");
     let mut rows = Vec::new();
-    for (kind, series) in ex::intensity_sweep(scale) {
+    for (kind, series) in ex::intensity_sweep(scale)? {
         for (intensity, np, cov_sc, cov_inj) in series {
             rows.push(vec![
                 kind.name().to_string(),
@@ -522,25 +700,25 @@ fn intensity(scale: &Scale) {
             ]);
         }
     }
-    print!(
-        "{}",
-        render(
-            &[
-                "workload",
-                "intensity",
-                "norm-perf",
-                "cov swapcache",
-                "cov DRAM-hit"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "workload",
+            "intensity",
+            "norm-perf",
+            "cov swapcache",
+            "cov DRAM-hit",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn channels(scale: &Scale) {
-    println!("\n## Extension — interleaved memory channels (§III-B; per-channel N = 8/channels)\n");
+fn channels(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Extension — interleaved memory channels (§III-B; per-channel N = 8/channels)\n\n",
+    );
     let mut rows = Vec::new();
-    for (kind, series) in ex::channels_sweep(scale) {
+    for (kind, series) in ex::channels_sweep(scale)? {
         for (ch, ratio, cov, np) in series {
             rows.push(vec![
                 kind.name().to_string(),
@@ -551,18 +729,18 @@ fn channels(scale: &Scale) {
             ]);
         }
     }
-    print!(
-        "{}",
-        render(
-            &["workload", "channels", "hot ratio", "coverage", "norm-perf"],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &["workload", "channels", "hot ratio", "coverage", "norm-perf"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn hugepage(scale: &Scale) {
-    println!("\n## Extension — huge-page batched prefetch (§IV; 512 pages per request)\n");
-    let rows: Vec<Vec<String>> = ex::hugepage_study(scale)
+fn hugepage(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Extension — huge-page batched prefetch (§IV; 512 pages per request)\n\n",
+    );
+    let rows: Vec<Vec<String>> = ex::hugepage_study(scale)?
         .into_iter()
         .map(|(kind, batching, np, reads, pages)| {
             vec![
@@ -579,25 +757,25 @@ fn hugepage(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "workload",
-                "mode",
-                "norm-perf",
-                "rdma requests",
-                "pages moved"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "workload",
+            "mode",
+            "norm-perf",
+            "rdma requests",
+            "pages moved",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn markov(scale: &Scale) {
-    println!("\n## Extension — Markov trainer vs adaptive three-tier (§III-D design space)\n");
+fn markov(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Extension — Markov trainer vs adaptive three-tier (§III-D design space)\n\n",
+    );
     let mut rows = Vec::new();
-    for (kind, series) in ex::markov_study(scale) {
+    for (kind, series) in ex::markov_study(scale)? {
         for (name, acc, cov, np) in series {
             rows.push(vec![
                 kind.name().to_string(),
@@ -608,19 +786,19 @@ fn markov(scale: &Scale) {
             ]);
         }
     }
-    print!(
-        "{}",
-        render(
-            &["workload", "trainer", "accuracy", "coverage", "norm-perf"],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &["workload", "trainer", "accuracy", "coverage", "norm-perf"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn reclaim(scale: &Scale) {
-    println!("\n## Extension — trace-assisted reclaim (§IV; hot pages get a second chance)\n");
+fn reclaim(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Extension — trace-assisted reclaim (§IV; hot pages get a second chance)\n\n",
+    );
     let mut rows = Vec::new();
-    for (kind, series) in ex::reclaim_study(scale) {
+    for (kind, series) in ex::reclaim_study(scale)? {
         for (window, majors, np) in series {
             rows.push(vec![
                 kind.name().to_string(),
@@ -630,19 +808,18 @@ fn reclaim(scale: &Scale) {
             ]);
         }
     }
-    print!(
-        "{}",
-        render(
-            &["workload", "hot window", "major faults", "norm-perf"],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &["workload", "hot window", "major faults", "norm-perf"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn sensitivity(scale: &Scale) {
-    println!("\n## Extension — STT sensitivity: history L x clustering distance\n");
+fn sensitivity(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Extension — STT sensitivity: history L x clustering distance\n\n");
     let mut rows = Vec::new();
-    for (kind, series) in ex::stt_sensitivity(scale) {
+    for (kind, series) in ex::stt_sensitivity(scale)? {
         for (l, delta, cov, acc) in series {
             rows.push(vec![
                 kind.name().to_string(),
@@ -653,15 +830,16 @@ fn sensitivity(scale: &Scale) {
             ]);
         }
     }
-    print!(
-        "{}",
-        render(&["workload", "L", "delta", "coverage", "accuracy"], &rows)
-    );
+    out.push_str(&render(
+        &["workload", "L", "delta", "coverage", "accuracy"],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn scale_robustness() {
-    println!("\n## Extension — scale robustness of the headline comparison\n");
-    let rows: Vec<Vec<String>> = ex::scale_robustness()
+fn scale_robustness() -> Result<String> {
+    let mut out = String::from("\n## Extension — scale robustness of the headline comparison\n\n");
+    let rows: Vec<Vec<String>> = ex::scale_robustness()?
         .into_iter()
         .map(|(fp, seed, kind, fs, hp)| {
             vec![
@@ -674,25 +852,24 @@ fn scale_robustness() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "footprint",
-                "seed",
-                "workload",
-                "fastswap",
-                "hopp",
-                "hopp/fastswap"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "footprint",
+            "seed",
+            "workload",
+            "fastswap",
+            "hopp",
+            "hopp/fastswap",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn warmup(scale: &Scale) {
-    println!("\n## Extension — warmup: major faults per run window (§VI-E dynamics)\n");
-    let data = ex::warmup(scale);
+fn warmup(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Extension — warmup: major faults per run window (§VI-E dynamics)\n\n");
+    let data = ex::warmup(scale)?;
     let windows = data[0].1.len();
     let labels: Vec<String> = (1..=windows).map(|w| format!("w{w}")).collect();
     let mut header: Vec<&str> = vec!["system"];
@@ -705,12 +882,14 @@ fn warmup(scale: &Scale) {
             row
         })
         .collect();
-    print!("{}", render(&header, &rows));
+    out.push_str(&render(&header, &rows));
+    Ok(out)
 }
 
-fn leapwin(scale: &Scale) {
-    println!("\n## Extension — Leap's adaptive prefetch window vs fixed depth\n");
-    let rows: Vec<Vec<String>> = ex::leap_window(scale)
+fn leapwin(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Extension — Leap's adaptive prefetch window vs fixed depth\n\n");
+    let rows: Vec<Vec<String>> = ex::leap_window(scale)?
         .into_iter()
         .map(|(kind, cf, ca, nf, na)| {
             vec![
@@ -722,33 +901,35 @@ fn leapwin(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "workload",
-                "fixed cov",
-                "adaptive cov",
-                "fixed perf",
-                "adaptive perf"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "workload",
+            "fixed cov",
+            "adaptive cov",
+            "fixed perf",
+            "adaptive perf",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn latency(scale: &Scale) {
-    println!("\n## Observability — latency distributions (kmeans, 50% local)\n");
-    for (system, summaries) in ex::latency_study(scale) {
-        println!("### {system}\n");
-        print!("{}", hopp_bench::format::latency_table(&summaries));
-        println!();
+fn latency(scale: &Scale) -> Result<String> {
+    let mut out =
+        String::from("\n## Observability — latency distributions (kmeans, 50% local)\n\n");
+    for (system, summaries) in ex::latency_study(scale)? {
+        out.push_str(&format!("### {system}\n\n"));
+        out.push_str(&hopp_bench::format::latency_table(&summaries));
+        out.push('\n');
     }
+    Ok(out)
 }
 
-fn fabric(scale: &Scale) {
-    println!("\n## hopp-fabric — node-count sweep (kmeans, HoPP intensity 4, 25% local)\n");
-    let rows: Vec<Vec<String>> = ex::fabric_sweep(scale)
+fn fabric(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## hopp-fabric — node-count sweep (kmeans, HoPP intensity 4, 25% local)\n\n",
+    );
+    let rows: Vec<Vec<String>> = ex::fabric_sweep(scale)?
         .into_iter()
         .map(|r| {
             vec![
@@ -761,25 +942,25 @@ fn fabric(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "nodes",
-                "placement",
-                "norm perf",
-                "major p99",
-                "queueing",
-                "reads"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "nodes",
+            "placement",
+            "norm perf",
+            "major p99",
+            "queueing",
+            "reads",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn faults(scale: &Scale) {
-    println!("\n## hopp-fabric — fault injection (kmeans, 4 nodes, replication 2, 50% local)\n");
-    let rows: Vec<Vec<String>> = ex::fault_study(scale)
+fn faults(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## hopp-fabric — fault injection (kmeans, 4 nodes, replication 2, 50% local)\n\n",
+    );
+    let rows: Vec<Vec<String>> = ex::fault_study(scale)?
         .into_iter()
         .map(|r| {
             vec![
@@ -792,28 +973,26 @@ fn faults(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &[
-                "scenario",
-                "system",
-                "norm perf",
-                "major p99",
-                "failovers",
-                "retries"
-            ],
-            &rows
-        )
-    );
+    out.push_str(&render(
+        &[
+            "scenario",
+            "system",
+            "norm perf",
+            "major p99",
+            "failovers",
+            "retries",
+        ],
+        &rows,
+    ));
+    Ok(out)
 }
 
-fn throughput(scale: &Scale) {
+fn throughput(scale: &Scale) -> Result<String> {
     const REPEATS: u32 = 3;
-    println!(
-        "\n## Throughput — simulator wall-clock accesses/sec (50% local, best of {REPEATS})\n"
+    let mut out = format!(
+        "\n## Throughput — simulator wall-clock accesses/sec (50% local, best of {REPEATS})\n\n"
     );
-    let rows = ex::throughput(scale, REPEATS);
+    let rows = ex::throughput(scale, REPEATS)?;
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -826,28 +1005,27 @@ fn throughput(scale: &Scale) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render(
-            &["workload", "system", "accesses", "wall", "accesses/sec"],
-            &cells
-        )
-    );
+    out.push_str(&render(
+        &["workload", "system", "accesses", "wall", "accesses/sec"],
+        &cells,
+    ));
     // The tracked perf trajectory lives at the repo root; the bench
     // crate's manifest dir is `crates/bench`, two levels below it.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let json = ex::throughput_json(scale, REPEATS, &rows);
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("\nwrote {out}"),
-        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    match std::fs::write(path, &json) {
+        Ok(()) => out.push_str(&format!("\nwrote {path}\n")),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
+    Ok(out)
 }
 
-fn hwcost() {
-    println!("\n## §VI-F — hardware cost (CACTI 3.0, 22nm)\n");
+fn hwcost() -> String {
+    let mut out = String::from("\n## §VI-F — hardware cost (CACTI 3.0, 22nm)\n\n");
     let rows: Vec<Vec<String>> = ex::hwcost()
         .into_iter()
         .map(|(name, area, power)| vec![name, format!("{area:.6} mm^2"), format!("{power:.4} mW")])
         .collect();
-    print!("{}", render(&["module", "area", "static power"], &rows));
+    out.push_str(&render(&["module", "area", "static power"], &rows));
+    out
 }

@@ -1,4 +1,10 @@
 //! The experiment generators (one per table/figure).
+//!
+//! Every generator that runs the simulator returns
+//! [`hopp_types::Result`]: a failed run (typed [`hopp_types::Error`])
+//! propagates to the caller instead of killing the process, so a sweep
+//! cell that fails takes down only its own cell. Pure computations
+//! (`hwcost`, `throughput_json`, `fig16_systems`) stay infallible.
 
 use hopp_core::three_tier::TierConfig;
 use hopp_core::{HoppConfig, PolicyConfig};
@@ -7,50 +13,8 @@ use hopp_sim::{
     AppSpec, BaselineKind, FabricConfig, FaultScript, PlacementKind, SimConfig, SimReport,
     Simulator, SystemConfig,
 };
-use hopp_types::{Nanos, Pid};
+use hopp_types::{Error, Nanos, Pid, Result};
 use hopp_workloads::WorkloadKind;
-
-// Experiment generators treat a failed run as fatal: the library
-// runners return `Result` so fault-injection studies can observe typed
-// errors, but a figure cannot be produced from a partial matrix, so
-// these wrappers panic with the run's error context instead.
-
-fn run_local(kind: WorkloadKind, footprint_pages: u64, seed: u64) -> SimReport {
-    hopp_sim::run_local(kind, footprint_pages, seed).expect("local reference run")
-}
-
-fn run_workload(
-    kind: WorkloadKind,
-    footprint_pages: u64,
-    seed: u64,
-    system: SystemConfig,
-    mem_ratio: f64,
-) -> SimReport {
-    hopp_sim::run_workload(kind, footprint_pages, seed, system, mem_ratio).expect("experiment run")
-}
-
-fn run_workload_with(
-    config: SimConfig,
-    kind: WorkloadKind,
-    footprint_pages: u64,
-    seed: u64,
-    mem_ratio: f64,
-) -> SimReport {
-    hopp_sim::run_workload_with(config, kind, footprint_pages, seed, mem_ratio)
-        .expect("experiment run")
-}
-
-fn run_workload_with_faults(
-    config: SimConfig,
-    kind: WorkloadKind,
-    footprint_pages: u64,
-    seed: u64,
-    mem_ratio: f64,
-    script: &FaultScript,
-) -> SimReport {
-    hopp_sim::run_workload_with_faults(config, kind, footprint_pages, seed, mem_ratio, script)
-        .expect("fault-injection run")
-}
 
 /// Experiment sizing. Footprints are in 4 KB pages; the defaults keep a
 /// full `experiments all` run to a couple of minutes in release mode
@@ -118,34 +82,34 @@ impl PerfRecord {
 }
 
 /// Runs the Fastswap-vs-HoPP matrix for a workload group.
-pub fn perf_matrix(scale: &Scale, group: &[WorkloadKind], ratio: f64) -> Vec<PerfRecord> {
-    group
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed);
-            let fastswap = run_workload(
-                kind,
-                fp,
-                scale.seed,
-                SystemConfig::Baseline(BaselineKind::Fastswap),
-                ratio,
-            );
-            let hopp = run_workload(kind, fp, scale.seed, SystemConfig::hopp_default(), ratio);
-            PerfRecord {
-                workload: kind,
-                ratio,
-                local_ct: local.completion,
-                fastswap,
-                hopp,
-            }
-        })
-        .collect()
+pub fn perf_matrix(scale: &Scale, group: &[WorkloadKind], ratio: f64) -> Result<Vec<PerfRecord>> {
+    let mut records = Vec::with_capacity(group.len());
+    for &kind in group {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?;
+        let fastswap = hopp_sim::run_workload(
+            kind,
+            fp,
+            scale.seed,
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            ratio,
+        )?;
+        let hopp =
+            hopp_sim::run_workload(kind, fp, scale.seed, SystemConfig::hopp_default(), ratio)?;
+        records.push(PerfRecord {
+            workload: kind,
+            ratio,
+            local_ct: local.completion,
+            fastswap,
+            hopp,
+        });
+    }
+    Ok(records)
 }
 
 /// Table II: hot pages identified per memory access, sweeping the HPD
 /// threshold `N`.
-pub fn table2(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64)>)> {
+pub fn table2(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(u32, f64)>)>> {
     const NS: [u32; 5] = [2, 4, 8, 16, 32];
     let workloads = [
         WorkloadKind::Kmeans,
@@ -154,105 +118,107 @@ pub fn table2(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64)>)> {
         WorkloadKind::GraphLp,
         WorkloadKind::GraphBfs,
     ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let rows = NS
-                .iter()
-                .map(|&n| {
-                    let config = SimConfig {
-                        hpd: HpdConfig::with_threshold(n),
-                        ..SimConfig::with_system(SystemConfig::hopp_default())
-                    };
-                    let report =
-                        run_workload_with(config, kind, scale.footprint_of(kind), scale.seed, 0.5);
-                    (n, report.hpd.hot_ratio() * 100.0)
-                })
-                .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let mut rows = Vec::with_capacity(NS.len());
+        for &n in &NS {
+            let config = SimConfig {
+                hpd: HpdConfig::with_threshold(n),
+                ..SimConfig::with_system(SystemConfig::hopp_default())
+            };
+            let report = hopp_sim::run_workload_with(
+                config,
+                kind,
+                scale.footprint_of(kind),
+                scale.seed,
+                0.5,
+            )?;
+            rows.push((n, report.hpd.hot_ratio() * 100.0));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// Table III: RPT cache hit rate while sweeping its capacity.
-pub fn table3(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, f64)>)> {
+pub fn table3(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(usize, f64)>)>> {
     const KIBS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
     let workloads = [WorkloadKind::Kmeans, WorkloadKind::GraphPr];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let rows = KIBS
-                .iter()
-                .map(|&kib| {
-                    let config = SimConfig {
-                        rpt: RptCacheConfig::with_kib(kib),
-                        ..SimConfig::with_system(SystemConfig::hopp_default())
-                    };
-                    let report =
-                        run_workload_with(config, kind, scale.footprint_of(kind), scale.seed, 0.5);
-                    (kib, report.rpt.hit_rate())
-                })
-                .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let mut rows = Vec::with_capacity(KIBS.len());
+        for &kib in &KIBS {
+            let config = SimConfig {
+                rpt: RptCacheConfig::with_kib(kib),
+                ..SimConfig::with_system(SystemConfig::hopp_default())
+            };
+            let report = hopp_sim::run_workload_with(
+                config,
+                kind,
+                scale.footprint_of(kind),
+                scale.seed,
+                0.5,
+            )?;
+            rows.push((kib, report.rpt.hit_rate()));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// Table V: DRAM bandwidth consumed by hot-page extraction and RPT
 /// queries, as a percentage of application traffic.
-pub fn table5(scale: &Scale) -> Vec<(WorkloadKind, f64, f64)> {
+pub fn table5(scale: &Scale) -> Result<Vec<(WorkloadKind, f64, f64)>> {
     let mut programs: Vec<WorkloadKind> = WorkloadKind::NON_JVM.to_vec();
     programs.extend(WorkloadKind::SPARK);
-    programs
-        .into_iter()
-        .map(|kind| {
-            // 4x the usual footprint so the working set exceeds the
-            // 8192-entry RPT cache and its DRAM traffic is measurable,
-            // as with the paper's multi-GB footprints.
-            let report = run_workload(
-                kind,
-                scale.footprint_of(kind) * 4,
-                scale.seed,
-                SystemConfig::hopp_default(),
-                0.5,
-            );
-            (
-                kind,
-                report.ledger.hpd_overhead_percent(),
-                report.ledger.rpt_overhead_percent(),
-            )
-        })
-        .collect()
+    let mut out = Vec::with_capacity(programs.len());
+    for kind in programs {
+        // 4x the usual footprint so the working set exceeds the
+        // 8192-entry RPT cache and its DRAM traffic is measurable,
+        // as with the paper's multi-GB footprints.
+        let report = hopp_sim::run_workload(
+            kind,
+            scale.footprint_of(kind) * 4,
+            scale.seed,
+            SystemConfig::hopp_default(),
+            0.5,
+        )?;
+        out.push((
+            kind,
+            report.ledger.hpd_overhead_percent(),
+            report.ledger.rpt_overhead_percent(),
+        ));
+    }
+    Ok(out)
 }
 
 /// Figures 9–11: non-JVM workloads at 50 % and 25 % local memory.
-pub fn fig9_matrix(scale: &Scale) -> (Vec<PerfRecord>, Vec<PerfRecord>) {
-    (
-        perf_matrix(scale, &WorkloadKind::NON_JVM, 0.5),
-        perf_matrix(scale, &WorkloadKind::NON_JVM, 0.25),
-    )
+pub fn fig9_matrix(scale: &Scale) -> Result<(Vec<PerfRecord>, Vec<PerfRecord>)> {
+    Ok((
+        perf_matrix(scale, &WorkloadKind::NON_JVM, 0.5)?,
+        perf_matrix(scale, &WorkloadKind::NON_JVM, 0.25)?,
+    ))
 }
 
 /// Figures 12–14: Spark workloads. The GraphX jobs and Bayes run at
 /// one-third local memory (the paper's 11 GB of 33 GB); Spark-Kmeans
 /// runs at ~15 % (the paper caps it at 2 GB of its 13 GB footprint).
-pub fn fig12_matrix(scale: &Scale) -> Vec<PerfRecord> {
-    WorkloadKind::SPARK
-        .iter()
-        .flat_map(|&kind| {
-            let ratio = if kind == WorkloadKind::SparkKmeans {
-                0.15
-            } else {
-                1.0 / 3.0
-            };
-            perf_matrix(scale, &[kind], ratio)
-        })
-        .collect()
+pub fn fig12_matrix(scale: &Scale) -> Result<Vec<PerfRecord>> {
+    let mut records = Vec::new();
+    for &kind in WorkloadKind::SPARK.iter() {
+        let ratio = if kind == WorkloadKind::SparkKmeans {
+            0.15
+        } else {
+            1.0 / 3.0
+        };
+        records.extend(perf_matrix(scale, &[kind], ratio)?);
+    }
+    Ok(records)
 }
 
 /// Fig 15: co-running application pairs; per-app speedup of HoPP over
 /// Fastswap with each app's local memory capped at 50 % via cgroups.
-pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
+pub fn fig15(scale: &Scale) -> Result<Vec<(String, Vec<(WorkloadKind, f64)>)>> {
     let groups: [&[WorkloadKind]; 4] = [
         &[WorkloadKind::Kmeans, WorkloadKind::GraphPr],
         &[WorkloadKind::Quicksort, WorkloadKind::NpbMg],
@@ -263,44 +229,43 @@ pub fn fig15(scale: &Scale) -> Vec<(String, Vec<(WorkloadKind, f64)>)> {
             WorkloadKind::NpbIs,
         ],
     ];
-    groups
-        .iter()
-        .map(|&group| {
-            let run_group = |system: SystemConfig| {
-                let apps = group
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &kind)| AppSpec {
-                        pid: Pid::from_index(i + 1),
-                        stream: kind.build(
-                            Pid::from_index(i + 1),
-                            scale.footprint_of(kind),
-                            scale.seed + i as u64,
-                        ),
-                        limit_pages: (scale.footprint_of(kind) / 2) as usize,
-                    })
-                    .collect();
-                Simulator::new(SimConfig::with_system(system), apps)
-                    .expect("valid group config")
-                    .run()
-                    .expect("group run")
-            };
-            let fs = run_group(SystemConfig::Baseline(BaselineKind::Fastswap));
-            let hp = run_group(SystemConfig::hopp_default());
-            let speedups = group
+    let mut out = Vec::with_capacity(groups.len());
+    for &group in &groups {
+        let run_group = |system: SystemConfig| -> Result<SimReport> {
+            let apps = group
                 .iter()
                 .enumerate()
-                .map(|(i, &kind)| {
-                    let pid = Pid::from_index(i + 1);
-                    let f = fs.app_completion(pid).expect("app ran").as_nanos() as f64;
-                    let h = hp.app_completion(pid).expect("app ran").as_nanos() as f64;
-                    (kind, f / h)
+                .map(|(i, &kind)| AppSpec {
+                    pid: Pid::from_index(i + 1),
+                    stream: kind.build(
+                        Pid::from_index(i + 1),
+                        scale.footprint_of(kind),
+                        scale.seed + i as u64,
+                    ),
+                    limit_pages: (scale.footprint_of(kind) / 2) as usize,
                 })
                 .collect();
-            let label = group.iter().map(|k| k.name()).collect::<Vec<_>>().join("+");
-            (label, speedups)
-        })
-        .collect()
+            Simulator::new(SimConfig::with_system(system), apps)?.run()
+        };
+        let fs = run_group(SystemConfig::Baseline(BaselineKind::Fastswap))?;
+        let hp = run_group(SystemConfig::hopp_default())?;
+        let mut speedups = Vec::with_capacity(group.len());
+        for (i, &kind) in group.iter().enumerate() {
+            let pid = Pid::from_index(i + 1);
+            let f = fs
+                .app_completion(pid)
+                .ok_or(Error::UnknownProcess { pid })?
+                .as_nanos() as f64;
+            let h = hp
+                .app_completion(pid)
+                .ok_or(Error::UnknownProcess { pid })?
+                .as_nanos() as f64;
+            speedups.push((kind, f / h));
+        }
+        let label = group.iter().map(|k| k.name()).collect::<Vec<_>>().join("+");
+        out.push((label, speedups));
+    }
+    Ok(out)
 }
 
 /// The systems compared in Fig 16/17.
@@ -325,7 +290,7 @@ pub struct DepthRow {
 }
 
 /// Figures 16 and 17: Depth-N versus Fastswap versus HoPP.
-pub fn fig16_17(scale: &Scale) -> Vec<DepthRow> {
+pub fn fig16_17(scale: &Scale) -> Result<Vec<DepthRow>> {
     let workloads = [
         WorkloadKind::NpbCg,
         WorkloadKind::NpbFt,
@@ -335,36 +300,35 @@ pub fn fig16_17(scale: &Scale) -> Vec<DepthRow> {
         WorkloadKind::Kmeans,
         WorkloadKind::Quicksort,
     ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            let no_prefetch = run_workload(
-                kind,
-                fp,
-                scale.seed,
-                SystemConfig::Baseline(BaselineKind::NoPrefetch),
-                0.5,
-            );
-            let base_remote = no_prefetch.remote_reads().max(1) as f64;
-            let systems = fig16_systems()
-                .iter()
-                .map(|&(name, system)| {
-                    let r = run_workload(kind, fp, scale.seed, system, 0.5);
-                    (
-                        name,
-                        local / r.completion.as_nanos() as f64,
-                        r.remote_reads() as f64 / base_remote,
-                    )
-                })
-                .collect();
-            DepthRow {
-                workload: kind,
-                systems,
-            }
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        let no_prefetch = hopp_sim::run_workload(
+            kind,
+            fp,
+            scale.seed,
+            SystemConfig::Baseline(BaselineKind::NoPrefetch),
+            0.5,
+        )?;
+        let base_remote = no_prefetch.remote_reads().max(1) as f64;
+        let mut systems = Vec::with_capacity(fig16_systems().len());
+        for &(name, system) in fig16_systems().iter() {
+            let r = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+            systems.push((
+                name,
+                local / r.completion.as_nanos() as f64,
+                r.remote_reads() as f64 / base_remote,
+            ));
+        }
+        out.push(DepthRow {
+            workload: kind,
+            systems,
+        });
+    }
+    Ok(out)
 }
 
 /// One Fig 18–20 row: the tier ablation for one workload.
@@ -381,7 +345,7 @@ pub struct TierRow {
 }
 
 /// Figures 18, 19, 20: adding LSP and RSP on top of SSP.
-pub fn fig18_20(scale: &Scale) -> Vec<TierRow> {
+pub fn fig18_20(scale: &Scale) -> Result<Vec<TierRow>> {
     let workloads = [
         WorkloadKind::Hpl,
         WorkloadKind::NpbMg,
@@ -389,53 +353,50 @@ pub fn fig18_20(scale: &Scale) -> Vec<TierRow> {
         WorkloadKind::Kmeans,
         WorkloadKind::Quicksort,
     ];
-    let tier_configs = [
-        TierConfig::ssp_only(),
-        TierConfig::ssp_lsp(),
-        TierConfig::default(),
-    ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let fs_ct = run_workload(
-                kind,
-                fp,
-                scale.seed,
-                SystemConfig::Baseline(BaselineKind::Fastswap),
-                0.5,
-            )
-            .completion
-            .as_nanos() as f64;
-            let mut speedup = [0.0f64; 3];
-            let mut last: Option<SimReport> = None;
-            for (i, tiers) in tier_configs.iter().enumerate() {
-                let config = HoppConfig {
-                    tiers: *tiers,
-                    ..HoppConfig::default()
-                };
-                let r = run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
-                speedup[i] = 1.0 - r.completion.as_nanos() as f64 / fs_ct;
-                last = Some(r);
-            }
-            let full = last.expect("three configs ran");
-            let tiers = full.hopp_tiers.expect("hopp tier metrics present");
-            let denom = (full.counters.major_faults
-                + full.baseline.prefetch_hits
-                + full.hopp.map(|h| h.prefetch_hits).unwrap_or(0))
-            .max(1) as f64;
-            TierRow {
-                workload: kind,
-                speedup,
-                tier_accuracy: [tiers[0].accuracy, tiers[1].accuracy, tiers[2].accuracy],
-                tier_coverage: [
-                    tiers[0].prefetch_hits as f64 / denom,
-                    tiers[1].prefetch_hits as f64 / denom,
-                    tiers[2].prefetch_hits as f64 / denom,
-                ],
-            }
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let fs_ct = hopp_sim::run_workload(
+            kind,
+            fp,
+            scale.seed,
+            SystemConfig::Baseline(BaselineKind::Fastswap),
+            0.5,
+        )?
+        .completion
+        .as_nanos() as f64;
+        let run_tier = |tiers: TierConfig| -> Result<SimReport> {
+            let config = HoppConfig {
+                tiers,
+                ..HoppConfig::default()
+            };
+            hopp_sim::run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5)
+        };
+        let speedup_of = |r: &SimReport| 1.0 - r.completion.as_nanos() as f64 / fs_ct;
+        let ssp = run_tier(TierConfig::ssp_only())?;
+        let ssp_lsp = run_tier(TierConfig::ssp_lsp())?;
+        let full = run_tier(TierConfig::default())?;
+        let speedup = [speedup_of(&ssp), speedup_of(&ssp_lsp), speedup_of(&full)];
+        let tiers = full.hopp_tiers.ok_or(Error::InvalidConfig {
+            what: "hopp_tiers",
+            constraint: "per-tier metrics present on SystemConfig::Hopp runs",
+        })?;
+        let denom = (full.counters.major_faults
+            + full.baseline.prefetch_hits
+            + full.hopp.map(|h| h.prefetch_hits).unwrap_or(0))
+        .max(1) as f64;
+        out.push(TierRow {
+            workload: kind,
+            speedup,
+            tier_accuracy: [tiers[0].accuracy, tiers[1].accuracy, tiers[2].accuracy],
+            tier_coverage: [
+                tiers[0].prefetch_hits as f64 / denom,
+                tiers[1].prefetch_hits as f64 / denom,
+                tiers[2].prefetch_hits as f64 / denom,
+            ],
+        });
+    }
+    Ok(out)
 }
 
 /// One Fig 21 point.
@@ -455,11 +416,11 @@ pub struct ScatterPoint {
 
 /// Figure 21: normalized performance against (accuracy, coverage) for
 /// every workload under both systems at 50 % local memory.
-pub fn fig21(scale: &Scale) -> Vec<ScatterPoint> {
+pub fn fig21(scale: &Scale) -> Result<Vec<ScatterPoint>> {
     let mut points = Vec::new();
     let mut group: Vec<WorkloadKind> = WorkloadKind::NON_JVM.to_vec();
     group.extend(WorkloadKind::SPARK);
-    for rec in perf_matrix(scale, &group, 0.5) {
+    for rec in perf_matrix(scale, &group, 0.5)? {
         points.push(ScatterPoint {
             workload: rec.workload,
             system: "fastswap",
@@ -475,25 +436,25 @@ pub fn fig21(scale: &Scale) -> Vec<ScatterPoint> {
             normalized: rec.normalized(&rec.hopp),
         });
     }
-    points
+    Ok(points)
 }
 
 /// The systems compared on the §VI-E microbenchmark (Fig 22).
-pub fn fig22(scale: &Scale) -> Vec<(&'static str, f64)> {
+pub fn fig22(scale: &Scale) -> Result<Vec<(&'static str, f64)>> {
     let kind = WorkloadKind::Microbench;
     let fp = scale.footprint;
-    let fs_ct = run_workload(
+    let fs_ct = hopp_sim::run_workload(
         kind,
         fp,
         scale.seed,
         SystemConfig::Baseline(BaselineKind::Fastswap),
         0.5,
-    )
+    )?
     .completion
     .as_nanos() as f64;
-    let speedup = |system: SystemConfig| -> f64 {
-        let r = run_workload(kind, fp, scale.seed, system, 0.5);
-        1.0 - r.completion.as_nanos() as f64 / fs_ct
+    let speedup = |system: SystemConfig| -> Result<f64> {
+        let r = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+        Ok(1.0 - r.completion.as_nanos() as f64 / fs_ct)
     };
     let hopp_fixed = |offset: f64| {
         SystemConfig::hopp_with(HoppConfig {
@@ -501,24 +462,24 @@ pub fn fig22(scale: &Scale) -> Vec<(&'static str, f64)> {
             ..HoppConfig::default()
         })
     };
-    vec![
-        ("Leap", speedup(SystemConfig::Baseline(BaselineKind::Leap))),
-        ("VMA", speedup(SystemConfig::Baseline(BaselineKind::Vma))),
+    Ok(vec![
+        ("Leap", speedup(SystemConfig::Baseline(BaselineKind::Leap))?),
+        ("VMA", speedup(SystemConfig::Baseline(BaselineKind::Vma))?),
         (
             "Depth-32",
-            speedup(SystemConfig::Baseline(BaselineKind::DepthN(32))),
+            speedup(SystemConfig::Baseline(BaselineKind::DepthN(32)))?,
         ),
-        ("HoPP (offset=1)", speedup(hopp_fixed(1.0))),
-        ("HoPP (offset=20K)", speedup(hopp_fixed(20_000.0))),
-        ("HoPP (dynamic)", speedup(SystemConfig::hopp_default())),
-    ]
+        ("HoPP (offset=1)", speedup(hopp_fixed(1.0))?),
+        ("HoPP (offset=20K)", speedup(hopp_fixed(20_000.0))?),
+        ("HoPP (dynamic)", speedup(SystemConfig::hopp_default())?),
+    ])
 }
 
 /// Fig 22 under latency volatility (§III-E's stated motivation): the
 /// same HoPP offset configurations on a link with periodic 8x
 /// congestion bursts. This is where the dynamic controller separates
 /// from a pinned offset of 1.
-pub fn fig22_volatile(scale: &Scale) -> Vec<(&'static str, f64)> {
+pub fn fig22_volatile(scale: &Scale) -> Result<Vec<(&'static str, f64)>> {
     use hopp_net::RdmaConfig;
     let kind = WorkloadKind::Microbench;
     let fp = scale.footprint;
@@ -526,18 +487,18 @@ pub fn fig22_volatile(scale: &Scale) -> Vec<(&'static str, f64)> {
         rdma: RdmaConfig::volatile(),
         ..SimConfig::with_system(system)
     };
-    let fs_ct = run_workload_with(
+    let fs_ct = hopp_sim::run_workload_with(
         volatile(SystemConfig::Baseline(BaselineKind::Fastswap)),
         kind,
         fp,
         scale.seed,
         0.5,
-    )
+    )?
     .completion
     .as_nanos() as f64;
-    let speedup = |system: SystemConfig| -> f64 {
-        let r = run_workload_with(volatile(system), kind, fp, scale.seed, 0.5);
-        1.0 - r.completion.as_nanos() as f64 / fs_ct
+    let speedup = |system: SystemConfig| -> Result<f64> {
+        let r = hopp_sim::run_workload_with(volatile(system), kind, fp, scale.seed, 0.5)?;
+        Ok(1.0 - r.completion.as_nanos() as f64 / fs_ct)
     };
     let hopp_fixed = |offset: f64| {
         SystemConfig::hopp_with(HoppConfig {
@@ -545,168 +506,165 @@ pub fn fig22_volatile(scale: &Scale) -> Vec<(&'static str, f64)> {
             ..HoppConfig::default()
         })
     };
-    vec![
-        ("HoPP (offset=1)", speedup(hopp_fixed(1.0))),
-        ("HoPP (offset=20K)", speedup(hopp_fixed(20_000.0))),
-        ("HoPP (dynamic)", speedup(SystemConfig::hopp_default())),
-    ]
+    Ok(vec![
+        ("HoPP (offset=1)", speedup(hopp_fixed(1.0))?),
+        ("HoPP (offset=20K)", speedup(hopp_fixed(20_000.0))?),
+        ("HoPP (dynamic)", speedup(SystemConfig::hopp_default())?),
+    ])
 }
 
 /// Ablation of Leap's own adaptive prefetch-window sizing: fixed depth
 /// vs the grow-on-hit/shrink-on-miss window, per workload. Reports
 /// (workload, fixed coverage, adaptive coverage, fixed norm-perf,
 /// adaptive norm-perf).
-pub fn leap_window(scale: &Scale) -> Vec<(WorkloadKind, f64, f64, f64, f64)> {
+pub fn leap_window(scale: &Scale) -> Result<Vec<(WorkloadKind, f64, f64, f64, f64)>> {
     use hopp_baselines::LeapPrefetcher;
     use hopp_kernel::Prefetcher;
     let workloads = [WorkloadKind::NpbLu, WorkloadKind::Quicksort];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            let run_leap = |leap: Box<dyn Prefetcher>| {
-                let app = AppSpec {
-                    pid: Pid::new(1),
-                    stream: kind.build(Pid::new(1), fp, scale.seed),
-                    limit_pages: (fp / 2) as usize,
-                };
-                let mut sim = Simulator::new(
-                    SimConfig::with_system(SystemConfig::Baseline(BaselineKind::Leap)),
-                    vec![app],
-                )
-                .expect("valid leap config");
-                sim.replace_baseline(leap);
-                sim.run().expect("leap run")
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        let run_leap = |leap: Box<dyn Prefetcher>| -> Result<SimReport> {
+            let app = AppSpec {
+                pid: Pid::new(1),
+                stream: kind.build(Pid::new(1), fp, scale.seed),
+                limit_pages: (fp / 2) as usize,
             };
-            let fixed = run_leap(Box::new(LeapPrefetcher::new(4, 8)));
-            let adaptive = run_leap(Box::new(LeapPrefetcher::adaptive(4, 2, 32)));
-            (
-                kind,
-                fixed.coverage(),
-                adaptive.coverage(),
-                local / fixed.completion.as_nanos() as f64,
-                local / adaptive.completion.as_nanos() as f64,
-            )
-        })
-        .collect()
+            let mut sim = Simulator::new(
+                SimConfig::with_system(SystemConfig::Baseline(BaselineKind::Leap)),
+                vec![app],
+            )?;
+            sim.replace_baseline(leap);
+            sim.run()
+        };
+        let fixed = run_leap(Box::new(LeapPrefetcher::new(4, 8)))?;
+        let adaptive = run_leap(Box::new(LeapPrefetcher::adaptive(4, 2, 32)))?;
+        out.push((
+            kind,
+            fixed.coverage(),
+            adaptive.coverage(),
+            local / fixed.completion.as_nanos() as f64,
+            local / adaptive.completion.as_nanos() as f64,
+        ));
+    }
+    Ok(out)
 }
 
 /// §II-B's motivating study: fault-driven Leap versus the revamped
 /// majority prefetcher on the full trace (page clustering + large
 /// window == HoPP restricted to SSP).
-pub fn motivate(scale: &Scale) -> Vec<(WorkloadKind, [f64; 2], [f64; 2])> {
+pub fn motivate(scale: &Scale) -> Result<Vec<(WorkloadKind, [f64; 2], [f64; 2])>> {
     let workloads = [
         WorkloadKind::Microbench,
         WorkloadKind::Kmeans,
         WorkloadKind::NpbLu,
     ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let leap = run_workload(
-                kind,
-                fp,
-                scale.seed,
-                SystemConfig::Baseline(BaselineKind::Leap),
-                0.5,
-            );
-            let ssp = run_workload(
-                kind,
-                fp,
-                scale.seed,
-                SystemConfig::hopp_with(HoppConfig {
-                    tiers: TierConfig::ssp_only(),
-                    ..HoppConfig::default()
-                }),
-                0.5,
-            );
-            (
-                kind,
-                [leap.accuracy(), leap.coverage()],
-                [ssp.accuracy(), ssp.coverage()],
-            )
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let leap = hopp_sim::run_workload(
+            kind,
+            fp,
+            scale.seed,
+            SystemConfig::Baseline(BaselineKind::Leap),
+            0.5,
+        )?;
+        let ssp = hopp_sim::run_workload(
+            kind,
+            fp,
+            scale.seed,
+            SystemConfig::hopp_with(HoppConfig {
+                tiers: TierConfig::ssp_only(),
+                ..HoppConfig::default()
+            }),
+            0.5,
+        )?;
+        out.push((
+            kind,
+            [leap.accuracy(), leap.coverage()],
+            [ssp.accuracy(), ssp.coverage()],
+        ));
+    }
+    Ok(out)
 }
 
 /// Policy-engine sensitivity (an ablation of §III-E's *prefetch
 /// intensity* knob beyond the paper's figures): normalized performance
 /// and the swapcache/DRAM-hit coverage split while sweeping the pages
 /// issued per hot page.
-pub fn intensity_sweep(scale: &Scale) -> Vec<(WorkloadKind, Vec<(u32, f64, f64, f64)>)> {
+pub fn intensity_sweep(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(u32, f64, f64, f64)>)>> {
     let workloads = [
         WorkloadKind::NpbMg,
         WorkloadKind::NpbCg,
         WorkloadKind::NpbIs,
     ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            let rows = [1u32, 2, 4]
-                .iter()
-                .map(|&intensity| {
-                    let config = HoppConfig {
-                        policy: PolicyConfig {
-                            intensity,
-                            ..PolicyConfig::default()
-                        },
-                        ..HoppConfig::default()
-                    };
-                    let r =
-                        run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
-                    (
-                        intensity,
-                        local / r.completion.as_nanos() as f64,
-                        r.coverage_swapcache(),
-                        r.coverage_injected(),
-                    )
-                })
-                .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        let mut rows = Vec::new();
+        for &intensity in &[1u32, 2, 4] {
+            let config = HoppConfig {
+                policy: PolicyConfig {
+                    intensity,
+                    ..PolicyConfig::default()
+                },
+                ..HoppConfig::default()
+            };
+            let r =
+                hopp_sim::run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5)?;
+            rows.push((
+                intensity,
+                local / r.completion.as_nanos() as f64,
+                r.coverage_swapcache(),
+                r.coverage_injected(),
+            ));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// §III-B extension: the impact of multiple interleaved memory
 /// channels. Each channel runs an HPD with threshold `N / channels`;
 /// repeated extractions are de-duplicated in the training framework.
 /// Reports (channels, hot-page ratio %, coverage, normalized perf).
-pub fn channels_sweep(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, f64, f64, f64)>)> {
+pub fn channels_sweep(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(usize, f64, f64, f64)>)>> {
     let workloads = [WorkloadKind::Kmeans, WorkloadKind::NpbLu];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            let rows = [1usize, 2, 4]
-                .iter()
-                .map(|&channels| {
-                    let config = SimConfig {
-                        channels,
-                        ..SimConfig::with_system(SystemConfig::hopp_default())
-                    };
-                    let r = run_workload_with(config, kind, fp, scale.seed, 0.5);
-                    (
-                        channels,
-                        r.hpd.hot_ratio() * 100.0,
-                        r.coverage(),
-                        local / r.completion.as_nanos() as f64,
-                    )
-                })
-                .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        let mut rows = Vec::new();
+        for &channels in &[1usize, 2, 4] {
+            let config = SimConfig {
+                channels,
+                ..SimConfig::with_system(SystemConfig::hopp_default())
+            };
+            let r = hopp_sim::run_workload_with(config, kind, fp, scale.seed, 0.5)?;
+            rows.push((
+                channels,
+                r.hpd.hot_ratio() * 100.0,
+                r.coverage(),
+                local / r.completion.as_nanos() as f64,
+            ));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// §IV extension: huge-page batched prefetching for proven long
 /// stride-1 streams. Reports per workload: (batching?, normalized
 /// perf, RDMA read *requests*, pages moved).
-pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)> {
+pub fn hugepage_study(scale: &Scale) -> Result<Vec<(WorkloadKind, bool, f64, u64, u64)>> {
     let workloads = [
         WorkloadKind::Kmeans,
         WorkloadKind::Microbench,
@@ -715,7 +673,9 @@ pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)>
     let mut rows = Vec::new();
     for &kind in &workloads {
         let fp = scale.footprint_of(kind);
-        let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
         for batching in [false, true] {
             // The paper's batch is 512 pages (2 MB) against multi-GB
             // footprints; at this simulation's ~16 MB footprints the
@@ -731,7 +691,7 @@ pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)>
             } else {
                 PolicyConfig::default()
             };
-            let r = run_workload(
+            let r = hopp_sim::run_workload(
                 kind,
                 fp,
                 scale.seed,
@@ -740,7 +700,7 @@ pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)>
                     ..HoppConfig::default()
                 }),
                 0.5,
-            );
+            )?;
             rows.push((
                 kind,
                 batching,
@@ -750,14 +710,16 @@ pub fn hugepage_study(scale: &Scale) -> Vec<(WorkloadKind, bool, f64, u64, u64)>
             ));
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// §III-D extension: the Markov (address-correlation) trainer against
 /// adaptive three-tier prefetching. Correlation needs history, so it
 /// trades first-visit streaming coverage for repeated-irregular
 /// coverage. Reports (trainer, accuracy, coverage, normalized perf).
-pub fn markov_study(scale: &Scale) -> Vec<(WorkloadKind, Vec<(&'static str, f64, f64, f64)>)> {
+pub fn markov_study(
+    scale: &Scale,
+) -> Result<Vec<(WorkloadKind, Vec<(&'static str, f64, f64, f64)>)>> {
     use hopp_core::{MarkovConfig, TrainerKind};
     let workloads = [
         WorkloadKind::Kmeans,
@@ -765,109 +727,111 @@ pub fn markov_study(scale: &Scale) -> Vec<(WorkloadKind, Vec<(&'static str, f64,
         WorkloadKind::GraphBfs,
         WorkloadKind::NpbCg,
     ];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            let rows = [
-                ("three-tier", TrainerKind::ThreeTier),
-                ("markov", TrainerKind::Markov(MarkovConfig::default())),
-            ]
-            .iter()
-            .map(|&(name, trainer)| {
-                let r = run_workload(
-                    kind,
-                    fp,
-                    scale.seed,
-                    SystemConfig::hopp_with(HoppConfig {
-                        trainer,
-                        ..HoppConfig::default()
-                    }),
-                    0.5,
-                );
-                (
-                    name,
-                    r.accuracy(),
-                    r.coverage(),
-                    local / r.completion.as_nanos() as f64,
-                )
-            })
-            .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        let mut rows = Vec::new();
+        for &(name, trainer) in &[
+            ("three-tier", TrainerKind::ThreeTier),
+            ("markov", TrainerKind::Markov(MarkovConfig::default())),
+        ] {
+            let r = hopp_sim::run_workload(
+                kind,
+                fp,
+                scale.seed,
+                SystemConfig::hopp_with(HoppConfig {
+                    trainer,
+                    ..HoppConfig::default()
+                }),
+                0.5,
+            )?;
+            rows.push((
+                name,
+                r.accuracy(),
+                r.coverage(),
+                local / r.completion.as_nanos() as f64,
+            ));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// §IV extension: trace-assisted reclaim (hot pages get a second
 /// chance before eviction). Reports (window, major faults, normalized
 /// perf) per workload.
-pub fn reclaim_study(scale: &Scale) -> Vec<(WorkloadKind, Vec<(&'static str, u64, f64)>)> {
+pub fn reclaim_study(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(&'static str, u64, f64)>)>> {
     let workloads = [WorkloadKind::NpbCg, WorkloadKind::GraphPr];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let local = run_local(kind, fp, scale.seed).completion.as_nanos() as f64;
-            // The hot window must span a reuse period (a superstep is
-            // tens of milliseconds at this scale) to protect anything.
-            let rows = [
-                ("off", None),
-                ("2ms", Some(Nanos::from_millis(2))),
-                ("20ms", Some(Nanos::from_millis(20))),
-                ("100ms", Some(Nanos::from_millis(100))),
-            ]
-            .iter()
-            .map(|&(name, window)| {
-                // Run with fault-order LRU (no accessed-bit scanning):
-                // the regime where the MC's hotness info is new signal.
-                let config = SimConfig {
-                    trace_assisted_reclaim: window,
-                    precise_lru: false,
-                    ..SimConfig::with_system(SystemConfig::hopp_default())
-                };
-                let r = run_workload_with(config, kind, fp, scale.seed, 0.5);
-                (
-                    name,
-                    r.counters.major_faults,
-                    local / r.completion.as_nanos() as f64,
-                )
-            })
-            .collect();
-            (kind, rows)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let local = hopp_sim::run_local(kind, fp, scale.seed)?
+            .completion
+            .as_nanos() as f64;
+        // The hot window must span a reuse period (a superstep is
+        // tens of milliseconds at this scale) to protect anything.
+        let mut rows = Vec::new();
+        for &(name, window) in &[
+            ("off", None),
+            ("2ms", Some(Nanos::from_millis(2))),
+            ("20ms", Some(Nanos::from_millis(20))),
+            ("100ms", Some(Nanos::from_millis(100))),
+        ] {
+            // Run with fault-order LRU (no accessed-bit scanning):
+            // the regime where the MC's hotness info is new signal.
+            let config = SimConfig {
+                trace_assisted_reclaim: window,
+                precise_lru: false,
+                ..SimConfig::with_system(SystemConfig::hopp_default())
+            };
+            let r = hopp_sim::run_workload_with(config, kind, fp, scale.seed, 0.5)?;
+            rows.push((
+                name,
+                r.counters.major_faults,
+                local / r.completion.as_nanos() as f64,
+            ));
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// Design sensitivity beyond the paper's figures: STT history length
 /// `L` and clustering distance `Δ_stream`. Reports (L, Δ, coverage,
 /// accuracy) for one stream-rich and one noisy workload.
-pub fn stt_sensitivity(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, u64, f64, f64)>)> {
+pub fn stt_sensitivity(scale: &Scale) -> Result<Vec<(WorkloadKind, Vec<(usize, u64, f64, f64)>)>> {
     use hopp_core::SttConfig;
     let workloads = [WorkloadKind::Hpl, WorkloadKind::GraphBfs];
-    workloads
-        .iter()
-        .map(|&kind| {
-            let fp = scale.footprint_of(kind);
-            let mut rows = Vec::new();
-            for &history in &[8usize, 16, 32] {
-                for &delta in &[16u64, 64, 256] {
-                    let config = HoppConfig {
-                        stt: SttConfig {
-                            history,
-                            delta_stream: delta,
-                            ..SttConfig::default()
-                        },
-                        ..HoppConfig::default()
-                    };
-                    let r =
-                        run_workload(kind, fp, scale.seed, SystemConfig::hopp_with(config), 0.5);
-                    rows.push((history, delta, r.coverage(), r.accuracy()));
-                }
+    let mut out = Vec::with_capacity(workloads.len());
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        let mut rows = Vec::new();
+        for &history in &[8usize, 16, 32] {
+            for &delta in &[16u64, 64, 256] {
+                let config = HoppConfig {
+                    stt: SttConfig {
+                        history,
+                        delta_stream: delta,
+                        ..SttConfig::default()
+                    },
+                    ..HoppConfig::default()
+                };
+                let r = hopp_sim::run_workload(
+                    kind,
+                    fp,
+                    scale.seed,
+                    SystemConfig::hopp_with(config),
+                    0.5,
+                )?;
+                rows.push((history, delta, r.coverage(), r.accuracy()));
             }
-            (kind, rows)
-        })
-        .collect()
+        }
+        out.push((kind, rows));
+    }
+    Ok(out)
 }
 
 /// Warmup dynamics (§VI-E: "When HoPP is started, the application must
@@ -875,30 +839,30 @@ pub fn stt_sensitivity(scale: &Scale) -> Vec<(WorkloadKind, Vec<(usize, u64, f64
 /// the timeliness is becoming smaller over time, HoPP will detect it
 /// and increase the prefetch offset"). Reports per-window major-fault
 /// counts over the run for Fastswap and HoPP.
-pub fn warmup(scale: &Scale) -> Vec<(&'static str, Vec<u64>)> {
+pub fn warmup(scale: &Scale) -> Result<Vec<(&'static str, Vec<u64>)>> {
     let kind = WorkloadKind::Kmeans;
     let fp = scale.footprint;
-    let run = |system: SystemConfig| {
+    let run = |system: SystemConfig| -> Result<Vec<u64>> {
         let config = SimConfig {
             timeline_every: fp * 3 / 12, // 12 windows over the run
             ..SimConfig::with_system(system)
         };
-        let r = run_workload_with(config, kind, fp, scale.seed, 0.5);
+        let r = hopp_sim::run_workload_with(config, kind, fp, scale.seed, 0.5)?;
         let mut windows = Vec::new();
         let mut prev = 0u64;
         for sample in &r.timeline {
             windows.push(sample.major_faults - prev);
             prev = sample.major_faults;
         }
-        windows
+        Ok(windows)
     };
-    vec![
+    Ok(vec![
         (
             "Fastswap",
-            run(SystemConfig::Baseline(BaselineKind::Fastswap)),
+            run(SystemConfig::Baseline(BaselineKind::Fastswap))?,
         ),
-        ("HoPP", run(SystemConfig::hopp_default())),
-    ]
+        ("HoPP", run(SystemConfig::hopp_default())?),
+    ])
 }
 
 /// Scale robustness: the headline comparison (HoPP vs Fastswap,
@@ -906,7 +870,7 @@ pub fn warmup(scale: &Scale) -> Vec<(&'static str, Vec<u64>)> {
 /// seeds. The reproduction rests on the claim that the *shape* of the
 /// results is insensitive to the scaled-down footprints; this
 /// experiment is the evidence.
-pub fn scale_robustness() -> Vec<(u64, u64, WorkloadKind, f64, f64)> {
+pub fn scale_robustness() -> Result<Vec<(u64, u64, WorkloadKind, f64, f64)>> {
     let workloads = [
         WorkloadKind::Kmeans,
         WorkloadKind::NpbMg,
@@ -916,15 +880,15 @@ pub fn scale_robustness() -> Vec<(u64, u64, WorkloadKind, f64, f64)> {
     for &fp in &[2_048u64, 4_096, 8_192] {
         for &seed in &[42u64, 7] {
             for &kind in &workloads {
-                let local = run_local(kind, fp, seed).completion.as_nanos() as f64;
-                let fs = run_workload(
+                let local = hopp_sim::run_local(kind, fp, seed)?.completion.as_nanos() as f64;
+                let fs = hopp_sim::run_workload(
                     kind,
                     fp,
                     seed,
                     SystemConfig::Baseline(BaselineKind::Fastswap),
                     0.5,
-                );
-                let hp = run_workload(kind, fp, seed, SystemConfig::hopp_default(), 0.5);
+                )?;
+                let hp = hopp_sim::run_workload(kind, fp, seed, SystemConfig::hopp_default(), 0.5)?;
                 rows.push((
                     fp,
                     seed,
@@ -935,25 +899,24 @@ pub fn scale_robustness() -> Vec<(u64, u64, WorkloadKind, f64, f64)> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Latency distributions (observability tentpole): fault, timeliness
 /// and RDMA percentiles for Fastswap vs HoPP on the same workload —
 /// the distribution-level view the paper's mean-only tables hide.
-pub fn latency_study(scale: &Scale) -> Vec<(&'static str, hopp_obs::LatencySummaries)> {
+pub fn latency_study(scale: &Scale) -> Result<Vec<(&'static str, hopp_obs::LatencySummaries)>> {
     let kind = WorkloadKind::Kmeans;
     let fp = scale.footprint_of(kind);
-    [
+    let mut out = Vec::new();
+    for (name, system) in [
         ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap)),
         ("hopp", SystemConfig::hopp_default()),
-    ]
-    .into_iter()
-    .map(|(name, system)| {
-        let report = run_workload(kind, fp, scale.seed, system, 0.5);
-        (name, report.obs.latency)
-    })
-    .collect()
+    ] {
+        let report = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+        out.push((name, report.obs.latency));
+    }
+    Ok(out)
 }
 
 /// One row of the `hopp-fabric` node-count sweep.
@@ -978,10 +941,10 @@ pub struct FabricRow {
 /// under each placement policy. Prefetch intensity 4 makes the data
 /// path burst hard enough to queue on one link; wider pools spread the
 /// bursts over parallel links, so queueing falls as nodes grow.
-pub fn fabric_sweep(scale: &Scale) -> Vec<FabricRow> {
+pub fn fabric_sweep(scale: &Scale) -> Result<Vec<FabricRow>> {
     let kind = WorkloadKind::Kmeans;
     let fp = scale.footprint_of(kind);
-    let local = run_local(kind, fp, scale.seed).completion;
+    let local = hopp_sim::run_local(kind, fp, scale.seed)?.completion;
     let system = SystemConfig::hopp_with(HoppConfig {
         policy: PolicyConfig {
             intensity: 4,
@@ -1008,7 +971,7 @@ pub fn fabric_sweep(scale: &Scale) -> Vec<FabricRow> {
                 },
                 ..SimConfig::with_system(system)
             };
-            let r = run_workload_with(config, kind, fp, scale.seed, 0.25);
+            let r = hopp_sim::run_workload_with(config, kind, fp, scale.seed, 0.25)?;
             rows.push(FabricRow {
                 nodes,
                 placement: placement.name(),
@@ -1019,7 +982,7 @@ pub fn fabric_sweep(scale: &Scale) -> Vec<FabricRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One row of the fault-injection study.
@@ -1044,10 +1007,10 @@ pub struct FaultRow {
 /// lost outright. HoPP keeps its major-fault tail lower than Fastswap
 /// because prefetched pages dodge the synchronous read that eats the
 /// slow-down or failover penalty.
-pub fn fault_study(scale: &Scale) -> Vec<FaultRow> {
+pub fn fault_study(scale: &Scale) -> Result<Vec<FaultRow>> {
     let kind = WorkloadKind::Kmeans;
     let fp = scale.footprint_of(kind);
-    let local = run_local(kind, fp, scale.seed).completion;
+    let local = hopp_sim::run_local(kind, fp, scale.seed)?.completion;
     let scenarios: [(&'static str, Option<&str>); 3] = [
         ("healthy", None),
         ("node0 4x slow", Some("2:0:slow:4")),
@@ -1070,12 +1033,15 @@ pub fn fault_study(scale: &Scale) -> Vec<FaultRow> {
             };
             let r = match script {
                 Some(s) => {
-                    let script = FaultScript::parse(s).expect("static script parses");
-                    run_workload_with_faults(config, kind, fp, scale.seed, 0.5, &script)
+                    let script = FaultScript::parse(s)?;
+                    hopp_sim::run_workload_with_faults(config, kind, fp, scale.seed, 0.5, &script)?
                 }
-                None => run_workload_with(config, kind, fp, scale.seed, 0.5),
+                None => hopp_sim::run_workload_with(config, kind, fp, scale.seed, 0.5)?,
             };
-            let fabric = r.fabric.as_ref().expect("4-node pool reports");
+            let fabric = r.fabric.as_ref().ok_or(Error::InvalidConfig {
+                what: "fabric",
+                constraint: "multi-node pools report fabric stats",
+            })?;
             rows.push(FaultRow {
                 system: name,
                 scenario,
@@ -1086,7 +1052,7 @@ pub fn fault_study(scale: &Scale) -> Vec<FaultRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One throughput row: simulator wall-clock throughput for a
@@ -1125,7 +1091,7 @@ pub fn throughput_systems() -> [(&'static str, SystemConfig); 3] {
 /// best of `repeats` runs so scheduler noise does not pollute the
 /// tracked `BENCH_throughput.json` trajectory. Simulated results are
 /// seeded and identical across repeats; only the wall clock varies.
-pub fn throughput(scale: &Scale, repeats: u32) -> Vec<ThroughputRow> {
+pub fn throughput(scale: &Scale, repeats: u32) -> Result<Vec<ThroughputRow>> {
     use std::time::Instant;
     let workloads = [
         WorkloadKind::Kmeans,
@@ -1141,7 +1107,7 @@ pub fn throughput(scale: &Scale, repeats: u32) -> Vec<ThroughputRow> {
             let mut best = f64::INFINITY;
             for _ in 0..repeats.max(1) {
                 let start = Instant::now();
-                let report = run_workload(kind, fp, scale.seed, system, 0.5);
+                let report = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
                 let secs = start.elapsed().as_secs_f64();
                 accesses = report.counters.accesses;
                 best = best.min(secs);
@@ -1155,7 +1121,7 @@ pub fn throughput(scale: &Scale, repeats: u32) -> Vec<ThroughputRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders throughput rows as the tracked `BENCH_throughput.json`
@@ -1218,7 +1184,7 @@ mod tests {
 
     #[test]
     fn perf_matrix_produces_sane_normalized_values() {
-        let recs = perf_matrix(&tiny(), &[WorkloadKind::Kmeans], 0.5);
+        let recs = perf_matrix(&tiny(), &[WorkloadKind::Kmeans], 0.5).unwrap();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
         let fs = r.normalized(&r.fastswap);
@@ -1229,7 +1195,7 @@ mod tests {
 
     #[test]
     fn table2_ratio_decreases_with_n() {
-        let rows = table2(&tiny());
+        let rows = table2(&tiny()).unwrap();
         for (_, series) in rows {
             let first = series.first().unwrap().1;
             let last = series.last().unwrap().1;
@@ -1239,7 +1205,7 @@ mod tests {
 
     #[test]
     fn table3_hit_rate_grows_with_capacity() {
-        let rows = table3(&tiny());
+        let rows = table3(&tiny()).unwrap();
         for (_, series) in rows {
             let first = series.first().unwrap().1;
             let last = series.last().unwrap().1;
@@ -1250,7 +1216,7 @@ mod tests {
 
     #[test]
     fn fig22_dynamic_offset_beats_extreme_fixed_offsets() {
-        let rows = fig22(&tiny());
+        let rows = fig22(&tiny()).unwrap();
         let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
         assert!(get("HoPP (dynamic)") >= get("HoPP (offset=20K)"));
         assert!(get("HoPP (dynamic)") > get("Leap"));
@@ -1258,7 +1224,7 @@ mod tests {
 
     #[test]
     fn fabric_sweep_spreads_queueing_over_nodes() {
-        let rows = fabric_sweep(&tiny());
+        let rows = fabric_sweep(&tiny()).unwrap();
         let q = |nodes: usize| {
             rows.iter()
                 .find(|r| r.nodes == nodes && r.placement == "hash")
@@ -1270,7 +1236,7 @@ mod tests {
 
     #[test]
     fn fault_study_degradation_hurts_and_failover_fires() {
-        let rows = fault_study(&tiny());
+        let rows = fault_study(&tiny()).unwrap();
         assert_eq!(rows.len(), 6);
         let get = |sys: &str, sc: &str| {
             rows.iter()

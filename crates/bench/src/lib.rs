@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod format;
+pub mod lab;
 
 pub use experiments::Scale;

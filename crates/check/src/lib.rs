@@ -8,7 +8,11 @@
 //! all, as machine-checkable rules over the whole workspace:
 //!
 //! * [`Rule::Determinism`] — no wall-clock time, OS randomness, threads
-//!   or default-hasher `HashMap`/`HashSet` in sim-critical crates;
+//!   or default-hasher `HashMap`/`HashSet` in sim-critical crates; and,
+//!   workspace-wide, no ad-hoc `thread::spawn`/`thread::scope` anywhere
+//!   outside the sanctioned hopp-lab pool (`crates/bench/src/lab.rs`),
+//!   whose indexed-slot design keeps output byte-identical at any
+//!   thread count;
 //! * [`Rule::PanicPolicy`] — no `unwrap`/`expect`/`panic!` in non-test
 //!   hot-path code; failures travel as [`hopp_types::Error`]-style typed
 //!   errors instead;

@@ -29,7 +29,7 @@ const ID_NEWTYPES: [&str; 6] = ["Vpn", "Ppn", "Pid", "NodeId", "LineAddr", "Swap
 /// Identifiers banned in sim-critical code: wall-clock time, OS
 /// randomness and threading have no place inside the simulated clock
 /// domain, and default-hasher collections iterate in a random order.
-const DETERMINISM_BANS: [(&str, &str); 6] = [
+const DETERMINISM_BANS: [(&str, &str); 7] = [
     (
         "Instant",
         "wall-clock time in sim code; simulated time is `Nanos` carried by the event loop",
@@ -40,6 +40,10 @@ const DETERMINISM_BANS: [(&str, &str); 6] = [
     ),
     (
         "thread::spawn",
+        "threads in sim code break deterministic replay; the simulator is single-threaded by design",
+    ),
+    (
+        "thread::scope",
         "threads in sim code break deterministic replay; the simulator is single-threaded by design",
     ),
     (
@@ -54,6 +58,27 @@ const DETERMINISM_BANS: [(&str, &str); 6] = [
     (
         "HashSet",
         "default-hasher set iterates in random order; use `hopp_ds::DetMap<K, ()>` or `BTreeSet`",
+    ),
+];
+
+/// Thread primitives banned *everywhere* in the workspace except the
+/// one sanctioned home: the hopp-lab pool in `crates/bench/src/lab.rs`.
+/// Harness crates are exempt from the sim-critical determinism rule,
+/// but ad-hoc threading there still produces artifacts whose byte
+/// stability nobody audited — so parallel work must route through the
+/// pool, which guarantees grid-order aggregation at any thread count.
+const THREAD_BANS: [(&str, &str); 2] = [
+    (
+        "thread::spawn",
+        "ad-hoc threads outside the sanctioned pool; route parallel work through \
+         `hopp_bench::lab::run_indexed` (crates/bench/src/lab.rs), which preserves \
+         deterministic output order",
+    ),
+    (
+        "thread::scope",
+        "ad-hoc threads outside the sanctioned pool; route parallel work through \
+         `hopp_bench::lab::run_indexed` (crates/bench/src/lab.rs), which preserves \
+         deterministic output order",
     ),
 ];
 
@@ -80,11 +105,13 @@ const PANIC_BANS: [(&str, &str); 5] = [
     ("todo!(", "unimplemented code must not ship in hot paths"),
 ];
 
-/// Runs the three per-file rules over one lexed file.
+/// Runs the per-file rules over one lexed file.
 pub fn check_file(ctx: &mut FileContext<'_>, findings: &mut Vec<Finding>) {
     let sim_critical = SIM_CRITICAL_CRATES.contains(&ctx.krate);
     // The whole `benches/` tree is measurement harness, not sim code.
     let is_bench = ctx.rel.contains("/benches/");
+    // The one sanctioned home for threads in the whole workspace.
+    let is_lab_pool = ctx.rel == "crates/bench/src/lab.rs";
     for (idx, line) in ctx.lexed.lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -93,6 +120,11 @@ pub fn check_file(ctx: &mut FileContext<'_>, findings: &mut Vec<Finding>) {
         if sim_critical && !is_bench {
             check_determinism(ctx, line, lineno, findings);
             check_panic_policy(ctx, line, lineno, findings);
+        } else if !is_lab_pool {
+            // Harness code escapes the full determinism rule, but not
+            // the workspace-wide thread policy: parallelism must route
+            // through the hopp-lab pool so output stays byte-stable.
+            check_thread_policy(ctx, line, lineno, findings);
         }
         if ctx.krate != "types" && ctx.krate != "check" {
             check_unit_hygiene(ctx, line, lineno, findings);
@@ -107,6 +139,24 @@ fn check_determinism(
     findings: &mut Vec<Finding>,
 ) {
     for (needle, steer) in DETERMINISM_BANS {
+        if contains_ident(&line.code, needle) {
+            findings.push(Finding {
+                rule: Rule::Determinism,
+                file: ctx.rel.clone(),
+                line: lineno,
+                message: format!("`{needle}`: {steer}"),
+            });
+        }
+    }
+}
+
+fn check_thread_policy(
+    ctx: &FileContext<'_>,
+    line: &Line,
+    lineno: usize,
+    findings: &mut Vec<Finding>,
+) {
+    for (needle, steer) in THREAD_BANS {
         if contains_ident(&line.code, needle) {
             findings.push(Finding {
                 rule: Rule::Determinism,

@@ -169,6 +169,30 @@ fn hopp_ds_collections_pass_where_hashmap_fires() {
 }
 
 #[test]
+fn thread_policy_spares_only_the_lab_pool() {
+    let report = check("labthread");
+    // `crates/bench/src/lab.rs` uses both `thread::scope` and
+    // `thread::spawn` and is spared (the sanctioned pool); the same
+    // `thread::spawn` in the obs harness crate — exempt from the full
+    // sim-critical determinism rule — still fires the workspace-wide
+    // thread policy.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::Determinism, "crates/obs/src/lib.rs", 4)],
+        "ad-hoc spawn flagged, lab pool spared\n{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("lab::run_indexed"),
+        "steer names the sanctioned pool: {}",
+        report.findings[0].message
+    );
+    assert_eq!(report.files_checked, 4);
+    assert_eq!(report.waiver_budget(), 0);
+}
+
+#[test]
 fn missing_config_surfaces_are_reported_not_fatal() {
     // A root with no crates/ directory at all is an IO error ...
     let bogus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/does-not-exist");

@@ -1,0 +1,6 @@
+//! Fixture lab pool: the one file allowed to touch thread primitives.
+
+fn pool() {
+    std::thread::scope(|_s| {});
+    std::thread::spawn(|| {});
+}

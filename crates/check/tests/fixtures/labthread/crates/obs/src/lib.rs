@@ -1,0 +1,5 @@
+//! Fixture exporter: harness crate with an ad-hoc thread.
+
+fn export() {
+    std::thread::spawn(|| {});
+}

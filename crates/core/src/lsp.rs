@@ -208,4 +208,76 @@ mod tests {
         // Tie: first-seen wins.
         assert_eq!(majority(&[7, 9, 7, 9]), Some(7));
     }
+
+    #[test]
+    fn vote_ties_resolve_to_the_most_recent_candidate() {
+        // Two repetitions of the (2, 2) target whose continuations
+        // disagree (7 vs 5) and whose repetition distances disagree
+        // (12 vs 10): one vote each. The tail-first scan pushes the
+        // newer candidate first, and `majority` keeps the first-seen
+        // value on ties, so the prediction follows the *recent* ladder
+        // geometry, not the stale one.
+        // Strides: [2,2,5, 1, 2,2,7, 1, 2,2] — target (2,2).
+        let w = window_from_vpns(&[0, 2, 4, 9, 10, 12, 14, 21, 22, 24, 26]);
+        let p = predict(&w).expect("ladder found");
+        assert_eq!(p.stride_target, 7, "newest continuation wins the tie");
+        assert_eq!(p.pattern_stride, 12, "newest repetition distance wins");
+    }
+
+    #[test]
+    fn minimal_window_with_one_repetition_predicts() {
+        // Four strides is the floor (`n < 4` rejects): the single
+        // candidate at the window head is the only vote, and its
+        // continuation is the target's own first stride — the ladder
+        // degenerates to a plain stride-2 stream, correctly predicted.
+        let w = window_from_vpns(&[0, 2, 4, 6, 8]);
+        assert_eq!(
+            predict(&w),
+            Some(LadderPrediction {
+                stride_target: 2,
+                pattern_stride: 4,
+            })
+        );
+    }
+
+    #[test]
+    fn target_without_a_full_earlier_repetition_is_rejected() {
+        // Window is long enough (n = 4) but the history before the
+        // target holds only fragments — never the full (2, 2) pair —
+        // so Algorithm 1 must decline rather than vote on thin air.
+        let w = window_from_vpns(&[0, 1, 4, 6, 8]); // strides [1,3,2,2]
+        assert_eq!(predict(&w), None);
+    }
+
+    #[test]
+    fn descending_ladder_predicts_negative_strides() {
+        // A ladder walked downwards: treads of stride -2, rises of -12,
+        // rungs 18 pages apart in the negative direction. Both output
+        // strides must come back negative.
+        let w = window_from_vpns(&[100, 98, 96, 94, 82, 80, 78, 76, 64, 62, 60, 58]);
+        let p = predict(&w).expect("descending ladder found");
+        assert_eq!(p.stride_target, -12);
+        assert_eq!(p.pattern_stride, -18);
+    }
+
+    #[test]
+    fn zigzag_pattern_with_sign_flips_inside_the_tread_is_tracked() {
+        // The stride alternates sign every access (+3, -1, +3, -1, …):
+        // the pattern target itself contains a sign flip. Repetitions
+        // overlap-free every 2 strides; the stream advances 2 pages per
+        // repetition.
+        let w = window_from_vpns(&[0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10]);
+        let p = predict(&w).expect("zigzag found");
+        assert_eq!(p.stride_target, 3);
+        assert_eq!(p.pattern_stride, 2);
+    }
+
+    #[test]
+    fn direction_flip_mid_stream_invalidates_the_old_ladder() {
+        // An ascending rung, then the stream reverses. The newest pair
+        // (-2, -2) has no repetition in the ascending history, so the
+        // stale ascending geometry must not produce a prediction.
+        let w = window_from_vpns(&[0, 2, 4, 16, 18, 20, 18, 16]);
+        assert_eq!(predict(&w), None);
+    }
 }

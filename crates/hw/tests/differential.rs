@@ -1,0 +1,241 @@
+//! Differential tests: the RTL models against the behavioural models.
+//!
+//! The paper's feasibility argument (§VI-F) rests on the Verilog
+//! modules implementing the same function as the software models. Here
+//! the cycle-stepped RTL models (`hopp_hw::rtl`, `hopp_hw::rtl_rpt`)
+//! and the behavioural models (`hopp_hw::hpd`, `hopp_hw::rpt`) are
+//! driven with identical seeded streams and their outputs compared:
+//!
+//! * HPD: identical hot-page emission sequences while set pressure
+//!   stays below the associativity (no replacement ties to break
+//!   differently), and emission volume within ±25% under thrash;
+//! * RPT: identical lookup resolutions on arbitrary op streams — the
+//!   replacement policies may cache different frames, but write-back
+//!   keeps cache ∪ DRAM architecturally equal, so every lookup must
+//!   resolve to the same mapping.
+
+use hopp_ds::PageMap;
+use hopp_hw::hpd::{HotPageDetector, HpdConfig};
+use hopp_hw::rpt::{ReversePageTable, RptCacheConfig, RptEntry, RPT_ENTRY_BYTES};
+use hopp_hw::rtl::HpdRtl;
+use hopp_hw::rtl_rpt::{PackedRptEntry, RptRtl, RptRtlResponse};
+use hopp_mem::PteListener;
+use hopp_types::rng::SplitMix64;
+use hopp_types::{AccessKind, PageFlags, Pid, Ppn, Vpn};
+
+/// Drives one access through the RTL pipeline and drains it, so the
+/// RTL retires ops in the same order the behavioural model applies
+/// them (interleaved invalidates then hit the same table state).
+fn feed(rtl: &mut HpdRtl, ppn: Ppn, line: u8, kind: AccessKind) -> Option<Ppn> {
+    let entering = rtl.clock(Some((ppn.line(line), kind)));
+    assert_eq!(entering.hot, None, "pipeline must be drained between ops");
+    rtl.clock(None).hot
+}
+
+#[test]
+fn hpd_models_emit_identical_sequences_without_eviction_pressure() {
+    // Several thresholds × seeds; page population sized so every set
+    // holds at most its associativity (16) — no victim selection, so
+    // the two replacement schemes cannot diverge.
+    for (threshold, seed) in [(1u32, 1u64), (2, 2), (4, 3), (8, 4), (64, 5)] {
+        let config = HpdConfig::with_threshold(threshold);
+        let mut behav = HotPageDetector::new(config).unwrap();
+        let mut rtl = HpdRtl::new(config).unwrap();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut behav_hot = Vec::new();
+        let mut rtl_hot = Vec::new();
+        // 64 pages over 4 sets = 16 per set: exactly at capacity.
+        for _ in 0..20_000 {
+            let ppn = Ppn::new(rng.gen_range(0..64));
+            let line = rng.gen_range(0..64) as u8;
+            let kind = if rng.gen_range(0..4) == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            behav_hot.extend(behav.on_miss(ppn.line(line), kind));
+            rtl_hot.extend(feed(&mut rtl, ppn, line, kind));
+        }
+        assert_eq!(
+            behav_hot, rtl_hot,
+            "threshold {threshold} seed {seed}: emission sequences diverged"
+        );
+        assert_eq!(behav.stats().hot_pages, rtl.emitted());
+    }
+}
+
+#[test]
+fn hpd_models_agree_with_interleaved_invalidations() {
+    let config = HpdConfig::with_threshold(4);
+    let mut behav = HotPageDetector::new(config).unwrap();
+    let mut rtl = HpdRtl::new(config).unwrap();
+    let mut rng = SplitMix64::seed_from_u64(99);
+    let mut behav_hot = Vec::new();
+    let mut rtl_hot = Vec::new();
+    for _ in 0..20_000 {
+        let ppn = Ppn::new(rng.gen_range(0..64));
+        if rng.gen_range(0..8) == 0 {
+            // Reclaim notification: both tables drop the entry.
+            behav.invalidate(ppn);
+            rtl.invalidate(ppn);
+            continue;
+        }
+        let line = rng.gen_range(0..64) as u8;
+        behav_hot.extend(behav.on_miss(ppn.line(line), AccessKind::Read));
+        rtl_hot.extend(feed(&mut rtl, ppn, line, AccessKind::Read));
+    }
+    assert!(!behav_hot.is_empty(), "stream too cold to compare anything");
+    assert_eq!(behav_hot, rtl_hot);
+}
+
+#[test]
+fn hpd_models_track_volume_under_eviction_pressure() {
+    // 1024 pages hammering 64 entries: constant thrash. Exact LRU and
+    // 4-bit aging pick different victims, but the Table II statistic
+    // (emission volume) must stay within ±25%.
+    for seed in [7u64, 21, 1234] {
+        let config = HpdConfig::with_threshold(4);
+        let mut behav = HotPageDetector::new(config).unwrap();
+        let mut rtl = HpdRtl::new(config).unwrap();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for _ in 0..60_000 {
+            let ppn = Ppn::new(rng.gen_range(0..1024));
+            let line = rng.gen_range(0..64) as u8;
+            behav.on_miss(ppn.line(line), AccessKind::Read);
+            rtl.clock(Some((ppn.line(line), AccessKind::Read)));
+        }
+        rtl.clock(None);
+        let behav_hot = behav.stats().hot_pages;
+        let lo = behav_hot - behav_hot / 4;
+        let hi = behav_hot + behav_hot / 4;
+        assert!(
+            (lo..=hi).contains(&rtl.emitted()),
+            "seed {seed}: rtl {} vs behavioural {behav_hot}",
+            rtl.emitted()
+        );
+    }
+}
+
+/// One op of the RPT differential stream.
+enum RptOp {
+    Set(Pid, Vpn, Ppn),
+    Clear(Ppn),
+    Lookup(Ppn),
+}
+
+/// Generates a seeded op mix over a small frame population (so cache
+/// evictions, remaps and tombstones all occur).
+fn rpt_ops(seed: u64, frames: u64, n: usize) -> Vec<RptOp> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ppn = Ppn::new(rng.gen_range(0..frames));
+        match rng.gen_range(0..10) {
+            0..=2 => ops.push(RptOp::Set(
+                // hopp-check is not in play here, but keep PIDs small and
+                // non-kernel so packing stays in range.
+                Pid::new(1 + rng.gen_range(0..100) as u16),
+                Vpn::new(rng.gen_range(0..1 << 30)),
+                ppn,
+            )),
+            3 => ops.push(RptOp::Clear(ppn)),
+            _ => ops.push(RptOp::Lookup(ppn)),
+        }
+    }
+    ops
+}
+
+/// Applies queued RTL write-backs to the shadow DRAM copy — the memory
+/// controller's write port, modelled as immediate service.
+fn drain_writebacks(rtl: &mut RptRtl, shadow: &mut PageMap<Ppn, RptEntry>) {
+    while let Some(wb) = rtl.pop_writeback() {
+        match wb.entry {
+            Some(packed) => {
+                shadow.insert(wb.ppn, packed.unpack());
+            }
+            None => {
+                shadow.remove(wb.ppn);
+            }
+        }
+    }
+}
+
+/// Resolves one RTL lookup to the behavioural `Option<RptEntry>`
+/// contract: a cached tombstone surfaces as a kernel-owned hit, a miss
+/// is answered from the shadow DRAM.
+fn rtl_lookup(rtl: &mut RptRtl, shadow: &mut PageMap<Ppn, RptEntry>, ppn: Ppn) -> Option<RptEntry> {
+    match rtl.lookup(ppn) {
+        RptRtlResponse::Hit(e) if e.pid == Pid::KERNEL => None,
+        RptRtlResponse::Hit(e) => Some(e),
+        RptRtlResponse::Miss => {
+            // The DRAM read must see any dirty eviction the behavioural
+            // model would already have folded into its own DRAM copy.
+            drain_writebacks(rtl, shadow);
+            let entry = shadow.get(ppn).copied();
+            rtl.dram_response(ppn, entry)
+        }
+    }
+}
+
+#[test]
+fn rpt_models_resolve_every_lookup_identically() {
+    // Tiny caches (2 sets × 4 ways) over 256 frames: heavy eviction, so
+    // the two replacement policies constantly cache different frames —
+    // yet every lookup must resolve to the same architectural mapping.
+    let geometry = RptCacheConfig {
+        capacity_bytes: 8 * RPT_ENTRY_BYTES,
+        ways: 4,
+    };
+    for seed in [3u64, 17, 404] {
+        let mut behav = ReversePageTable::new(geometry).unwrap();
+        let mut rtl = RptRtl::new(geometry).unwrap();
+        let mut shadow: PageMap<Ppn, RptEntry> = PageMap::new();
+        let mut lookups = 0u64;
+        for op in rpt_ops(seed, 256, 30_000) {
+            match op {
+                RptOp::Set(pid, vpn, ppn) => {
+                    behav.pte_set(pid, vpn, ppn);
+                    rtl.pte_set(pid, vpn, ppn);
+                }
+                RptOp::Clear(ppn) => {
+                    behav.pte_clear(Pid::new(1), Vpn::new(0), ppn);
+                    rtl.pte_clear(ppn);
+                }
+                RptOp::Lookup(ppn) => {
+                    lookups += 1;
+                    let want = behav.lookup(ppn);
+                    let got = rtl_lookup(&mut rtl, &mut shadow, ppn);
+                    assert_eq!(got, want, "seed {seed}: lookup({ppn:?}) diverged");
+                }
+            }
+            drain_writebacks(&mut rtl, &mut shadow);
+        }
+        assert!(lookups > 10_000, "op mix starved the comparison");
+        // Different victims, similar locality: hit rates land close.
+        let delta = (behav.stats().hit_rate() - rtl.hit_rate()).abs();
+        assert!(
+            delta < 0.2,
+            "seed {seed}: hit rates diverged by {delta} (behav {}, rtl {})",
+            behav.stats().hit_rate(),
+            rtl.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn rpt_packing_is_lossless_for_the_whole_op_stream() {
+    // Every entry the differential stream produces must survive the
+    // 64-bit packing the RTL stores (16-bit PID, 40-bit VPN, flags).
+    let mut rng = SplitMix64::seed_from_u64(55);
+    for _ in 0..10_000 {
+        let e = RptEntry {
+            pid: Pid::new(rng.gen_range(0..u64::from(u16::MAX) + 1) as u16),
+            vpn: Vpn::new(rng.gen_range(0..1 << 40)),
+            flags: PageFlags {
+                shared: rng.gen_range(0..2) == 1,
+                huge: rng.gen_range(0..2) == 1,
+            },
+        };
+        assert_eq!(PackedRptEntry::pack(e).unpack(), e);
+    }
+}

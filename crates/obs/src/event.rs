@@ -29,11 +29,16 @@ pub enum Component {
     Rdma,
     /// Disaggregated memory pool: placement, retry, failover.
     Fabric,
+    /// The hopp-lab sweep engine (bench layer): per-cell progress and
+    /// wall-clock timing. The one track whose timestamps are wall
+    /// clock, not simulated time — lab events never enter the
+    /// deterministic sweep artifact.
+    Lab,
 }
 
 impl Component {
     /// All components, in track order.
-    pub const ALL: [Component; 8] = [
+    pub const ALL: [Component; 9] = [
         Component::Hpd,
         Component::Rpt,
         Component::Stt,
@@ -42,6 +47,7 @@ impl Component {
         Component::Kernel,
         Component::Rdma,
         Component::Fabric,
+        Component::Lab,
     ];
 
     /// Stable lowercase label, used as the track name.
@@ -55,6 +61,7 @@ impl Component {
             Component::Kernel => "kernel",
             Component::Rdma => "rdma",
             Component::Fabric => "fabric",
+            Component::Lab => "lab",
         }
     }
 
@@ -69,6 +76,7 @@ impl Component {
             Component::Kernel => 6,
             Component::Rdma => 7,
             Component::Fabric => 8,
+            Component::Lab => 9,
         }
     }
 }
@@ -316,6 +324,22 @@ pub enum Event {
         /// The replica that served the read.
         node: NodeId,
     },
+    /// A sweep cell was claimed by a lab worker (wall-clock instant).
+    LabCellStart {
+        /// Grid index of the cell (0-based, grid order).
+        index: u32,
+        /// Total cells in the grid.
+        total: u32,
+    },
+    /// A sweep cell finished (interval ending at its timestamp).
+    LabCellDone {
+        /// Grid index of the cell (0-based, grid order).
+        index: u32,
+        /// Whether the cell was served from the on-disk cache.
+        cached: bool,
+        /// Wall-clock time the cell took.
+        wall: Nanos,
+    },
 }
 
 impl Event {
@@ -347,6 +371,7 @@ impl Event {
             | Event::RemoteTimeout { .. }
             | Event::NodeDown { .. }
             | Event::Failover { .. } => Component::Fabric,
+            Event::LabCellStart { .. } | Event::LabCellDone { .. } => Component::Lab,
         }
     }
 
@@ -379,6 +404,8 @@ impl Event {
             Event::RemoteTimeout { .. } => "remote_timeout",
             Event::NodeDown { .. } => "node_down",
             Event::Failover { .. } => "failover",
+            Event::LabCellStart { .. } => "lab_cell_start",
+            Event::LabCellDone { .. } => "lab_cell_done",
         }
     }
 
@@ -396,6 +423,7 @@ impl Event {
             Event::InflightWait { wait, .. } => Some(*wait),
             Event::RemoteRetry { backoff, .. } => Some(*backoff),
             Event::RemoteTimeout { waited, .. } => Some(*waited),
+            Event::LabCellDone { wall, .. } => Some(*wall),
             _ => None,
         }
     }
@@ -571,6 +599,20 @@ impl Event {
                     pid.raw(),
                     vpn.raw(),
                     node.raw()
+                );
+            }
+            Event::LabCellStart { index, total } => {
+                let _ = write!(out, ",\"index\":{index},\"total\":{total}");
+            }
+            Event::LabCellDone {
+                index,
+                cached,
+                wall,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"cached\":{cached},\"wall_ns\":{}",
+                    wall.as_nanos()
                 );
             }
         }

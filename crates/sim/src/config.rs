@@ -190,6 +190,18 @@ impl SimConfig {
             ..Default::default()
         }
     }
+
+    /// Canonical content fingerprint of this configuration.
+    ///
+    /// `SimConfig` is a tree of `Copy` value types, so the derived
+    /// `Debug` rendering is a pure function of every knob's value —
+    /// stable across runs, thread counts and platforms. The hopp-lab
+    /// sweep engine hashes this string (plus the workload/seed/ratio
+    /// of the cell) to key its on-disk result cache: two runs share a
+    /// cache entry iff every configuration knob matches.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 /// One application in a run.

@@ -17,7 +17,7 @@ fn tiny() -> Scale {
 
 #[test]
 fn table2_ratio_is_positive_and_bounded() {
-    for (kind, series) in ex::table2(&tiny()) {
+    for (kind, series) in ex::table2(&tiny()).unwrap() {
         for (n, ratio) in series {
             assert!(
                 (0.0..=100.0).contains(&ratio),
@@ -30,7 +30,7 @@ fn table2_ratio_is_positive_and_bounded() {
 
 #[test]
 fn table3_is_monotone_in_capacity() {
-    for (kind, series) in ex::table3(&tiny()) {
+    for (kind, series) in ex::table3(&tiny()).unwrap() {
         for w in series.windows(2) {
             assert!(
                 w[1].1 >= w[0].1 - 0.02,
@@ -47,7 +47,7 @@ fn table3_is_monotone_in_capacity() {
 
 #[test]
 fn table5_overheads_are_fractions_of_a_percent() {
-    for (kind, hpd, rpt) in ex::table5(&tiny()) {
+    for (kind, hpd, rpt) in ex::table5(&tiny()).unwrap() {
         assert!(hpd > 0.0 && hpd < 2.0, "{}: HPD {hpd}%", kind.name());
         assert!((0.0..1.0).contains(&rpt), "{}: RPT {rpt}%", kind.name());
         assert!(hpd > rpt, "{}: HPD must dominate RPT traffic", kind.name());
@@ -56,7 +56,7 @@ fn table5_overheads_are_fractions_of_a_percent() {
 
 #[test]
 fn fig9_hopp_never_loses_to_fastswap() {
-    let (half, quarter) = ex::fig9_matrix(&tiny());
+    let (half, quarter) = ex::fig9_matrix(&tiny()).unwrap();
     for rec in half.iter().chain(&quarter) {
         let fs = rec.normalized(&rec.fastswap);
         let hp = rec.normalized(&rec.hopp);
@@ -71,7 +71,7 @@ fn fig9_hopp_never_loses_to_fastswap() {
 
 #[test]
 fn fig12_spark_group_runs_and_hopp_leads() {
-    let recs = ex::fig12_matrix(&tiny());
+    let recs = ex::fig12_matrix(&tiny()).unwrap();
     assert_eq!(recs.len(), WorkloadKind::SPARK.len());
     let avg_fs: f64 =
         recs.iter().map(|r| r.normalized(&r.fastswap)).sum::<f64>() / recs.len() as f64;
@@ -81,7 +81,7 @@ fn fig12_spark_group_runs_and_hopp_leads() {
 
 #[test]
 fn fig15_every_coscheduled_app_speeds_up() {
-    for (pair, speedups) in ex::fig15(&tiny()) {
+    for (pair, speedups) in ex::fig15(&tiny()).unwrap() {
         for (kind, s) in speedups {
             assert!(s > 0.95, "{pair}: {} speedup {s:.3}", kind.name());
         }
@@ -90,7 +90,7 @@ fn fig15_every_coscheduled_app_speeds_up() {
 
 #[test]
 fn fig16_17_depth_n_pays_in_remote_traffic() {
-    let rows = ex::fig16_17(&tiny());
+    let rows = ex::fig16_17(&tiny()).unwrap();
     for row in &rows {
         for (name, np, remote) in &row.systems {
             assert!(
@@ -122,7 +122,7 @@ fn fig16_17_depth_n_pays_in_remote_traffic() {
 
 #[test]
 fn fig18_20_tiers_never_hurt_much_and_stay_accurate() {
-    for row in ex::fig18_20(&tiny()) {
+    for row in ex::fig18_20(&tiny()).unwrap() {
         assert!(
             row.speedup[2] >= row.speedup[0] - 0.05,
             "{}: full tiers {:?} vs ssp-only",
@@ -143,7 +143,7 @@ fn fig18_20_tiers_never_hurt_much_and_stay_accurate() {
 
 #[test]
 fn fig21_points_are_well_formed() {
-    let points = ex::fig21(&tiny());
+    let points = ex::fig21(&tiny()).unwrap();
     assert_eq!(
         points.len(),
         2 * (WorkloadKind::NON_JVM.len() + WorkloadKind::SPARK.len())
@@ -157,7 +157,7 @@ fn fig21_points_are_well_formed() {
 
 #[test]
 fn fig22_orderings_hold() {
-    let rows = ex::fig22(&tiny());
+    let rows = ex::fig22(&tiny()).unwrap();
     let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
     assert!(
         get("Leap") < 0.0,
@@ -166,14 +166,14 @@ fn fig22_orderings_hold() {
     assert!(get("HoPP (dynamic)") > get("VMA"));
     assert!(get("HoPP (dynamic)") > get("Leap"));
     // Under volatility the controller beats the pinned offset.
-    let volatile = ex::fig22_volatile(&tiny());
+    let volatile = ex::fig22_volatile(&tiny()).unwrap();
     let getv = |name: &str| volatile.iter().find(|(n, _)| *n == name).unwrap().1;
     assert!(getv("HoPP (dynamic)") > getv("HoPP (offset=20K)"));
 }
 
 #[test]
 fn motivate_full_trace_beats_leap() {
-    for (kind, leap, full) in ex::motivate(&tiny()) {
+    for (kind, leap, full) in ex::motivate(&tiny()).unwrap() {
         assert!(
             full[1] >= leap[1],
             "{}: full-trace coverage {} < leap {}",
@@ -186,7 +186,7 @@ fn motivate_full_trace_beats_leap() {
 
 #[test]
 fn warmup_shows_hopp_quieting_down() {
-    let data = ex::warmup(&tiny());
+    let data = ex::warmup(&tiny()).unwrap();
     let hopp = &data.iter().find(|(n, _)| *n == "HoPP").unwrap().1;
     let fastswap = &data.iter().find(|(n, _)| *n == "Fastswap").unwrap().1;
     let tail = hopp.len() / 2;
@@ -202,13 +202,13 @@ fn warmup_shows_hopp_quieting_down() {
 fn extension_sweeps_run_at_tiny_scale() {
     // These must not panic and must produce rows; their stronger claims
     // are validated at full scale by the experiments binary.
-    assert!(!ex::intensity_sweep(&tiny()).is_empty());
-    assert!(!ex::channels_sweep(&tiny()).is_empty());
-    assert!(!ex::hugepage_study(&tiny()).is_empty());
-    assert!(!ex::markov_study(&tiny()).is_empty());
-    assert!(!ex::reclaim_study(&tiny()).is_empty());
-    assert!(!ex::stt_sensitivity(&tiny()).is_empty());
-    assert!(!ex::leap_window(&tiny()).is_empty());
+    assert!(!ex::intensity_sweep(&tiny()).unwrap().is_empty());
+    assert!(!ex::channels_sweep(&tiny()).unwrap().is_empty());
+    assert!(!ex::hugepage_study(&tiny()).unwrap().is_empty());
+    assert!(!ex::markov_study(&tiny()).unwrap().is_empty());
+    assert!(!ex::reclaim_study(&tiny()).unwrap().is_empty());
+    assert!(!ex::stt_sensitivity(&tiny()).unwrap().is_empty());
+    assert!(!ex::leap_window(&tiny()).unwrap().is_empty());
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! End-to-end checks of the hopp-lab sweep engine's two headline
+//! guarantees (also enforced in CI by the `sweep` job):
+//!
+//! * the rendered sweep artifact is byte-identical at any thread
+//!   count — parallelism must never leak into results;
+//! * a warm cache makes a re-run at least 5× faster than the cold
+//!   run, and the cached artifact is byte-identical to the fresh one.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hopp_bench::lab::{self, SweepSpec};
+
+/// A per-test temp cache directory (removed at the end of the test).
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hopp-lab-sweep-{tag}-{}", std::process::id()))
+}
+
+fn spec(threads: usize, cache_dir: Option<PathBuf>) -> SweepSpec {
+    let mut spec = SweepSpec::quick();
+    spec.footprint = 512;
+    spec.spark_footprint = 512;
+    spec.threads = threads;
+    spec.cache_dir = cache_dir;
+    spec
+}
+
+#[test]
+fn sweep_artifact_is_byte_identical_across_thread_counts() {
+    let one = lab::run_sweep(&spec(1, None)).unwrap();
+    let four = lab::run_sweep(&spec(4, None)).unwrap();
+    assert_eq!(one.cells_failed, 0);
+    assert_eq!(four.cells_failed, 0);
+    assert_eq!(
+        one.json, four.json,
+        "thread count leaked into the sweep artifact"
+    );
+}
+
+#[test]
+fn warm_cache_rerun_is_at_least_five_times_faster() {
+    let dir = temp_cache("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let started = Instant::now();
+    let cold = lab::run_sweep(&spec(2, Some(dir.clone()))).unwrap();
+    let cold_wall = started.elapsed();
+    assert_eq!(cold.cells_cached, 0, "cache directory was not fresh");
+    assert_eq!(cold.cells_failed, 0);
+
+    let started = Instant::now();
+    let warm = lab::run_sweep(&spec(2, Some(dir.clone()))).unwrap();
+    let warm_wall = started.elapsed();
+    assert_eq!(warm.cells_run, 0, "warm run re-simulated a cached cell");
+    assert_eq!(warm.cells_cached, cold.cells_run);
+
+    assert_eq!(
+        cold.json, warm.json,
+        "cached cells rendered differently from fresh ones"
+    );
+    assert!(
+        warm_wall * 5 <= cold_wall,
+        "warm re-run not ≥5× faster: cold {cold_wall:?}, warm {warm_wall:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
