@@ -34,8 +34,9 @@ fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     }
 }
 
-const ALL: [&str; 31] = [
+const ALL: [&str; 32] = [
     "throughput",
+    "quality",
     "table2",
     "table3",
     "table5",
@@ -296,6 +297,7 @@ fn run(name: &str, scale: &Scale) -> Result<String> {
         "fabric" => fabric(scale),
         "faults" => faults(scale),
         "throughput" => throughput(scale),
+        "quality" => quality(scale),
         "hwcost" => Ok(hwcost()),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -988,7 +990,9 @@ fn faults(scale: &Scale) -> Result<String> {
 }
 
 fn throughput(scale: &Scale) -> Result<String> {
-    const REPEATS: u32 = 3;
+    // Median-of-5 paired ratios keep the gated `vs_noprefetch` column
+    // stable on noisy shared hosts; the extra repeats cost ~1 s.
+    const REPEATS: u32 = 5;
     let mut out = format!(
         "\n## Throughput — simulator wall-clock accesses/sec (50% local, best of {REPEATS})\n\n"
     );
@@ -1013,6 +1017,46 @@ fn throughput(scale: &Scale) -> Result<String> {
     // crate's manifest dir is `crates/bench`, two levels below it.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let json = ex::throughput_json(scale, REPEATS, &rows);
+    match std::fs::write(path, &json) {
+        Ok(()) => out.push_str(&format!("\nwrote {path}\n")),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+    Ok(out)
+}
+
+fn quality(scale: &Scale) -> Result<String> {
+    let mut out = String::from(
+        "\n## Quality — prefetch coverage/accuracy/pollution scoreboard (50% local)\n\n",
+    );
+    let rows = ex::quality(scale)?;
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.name().to_string(),
+                r.system.to_string(),
+                format!("{:.2}", r.coverage_pct),
+                format!("{:.2}", r.accuracy_pct),
+                format!("{:.2}", r.pollution_pct),
+                format!("{}", hopp_types::Nanos::from_nanos(r.mean_timeliness_ns)),
+            ]
+        })
+        .collect();
+    out.push_str(&render(
+        &[
+            "workload",
+            "system",
+            "coverage%",
+            "accuracy%",
+            "pollution%",
+            "timeliness",
+        ],
+        &cells,
+    ));
+    // Tracked next to BENCH_throughput.json and diffed by `cargo xtask
+    // gate`; fully deterministic, so any change is a real change.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quality.json");
+    let json = ex::quality_json(scale, &rows);
     match std::fs::write(path, &json) {
         Ok(()) => out.push_str(&format!("\nwrote {path}\n")),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),

@@ -1069,6 +1069,14 @@ pub struct ThroughputRow {
     pub wall_secs: f64,
     /// `accesses / wall_secs`.
     pub accesses_per_sec: f64,
+    /// Median per-repeat *paired* speed ratio against the same repeat's
+    /// `noprefetch` run of the same workload (1.0 for the `noprefetch`
+    /// row itself). The two runs of a pair execute back-to-back inside
+    /// one repeat, so transient host stalls hit both alike, and the
+    /// median discards repeats where a stall hit only one side — this
+    /// ratio stays stable where raw wall times wander, and it is the
+    /// number `cargo xtask gate` regression-checks.
+    pub vs_noprefetch: f64,
 }
 
 /// The systems measured by the throughput harness.
@@ -1102,30 +1110,91 @@ pub fn throughput(scale: &Scale, repeats: u32) -> Result<Vec<ThroughputRow>> {
     let mut rows = Vec::new();
     for &kind in &workloads {
         let fp = scale.footprint_of(kind);
-        for (name, system) in throughput_systems() {
-            let mut accesses = 0;
-            let mut best = f64::INFINITY;
-            for _ in 0..repeats.max(1) {
+        let systems = throughput_systems();
+        let mut accesses = [0u64; 3];
+        let mut best = [f64::INFINITY; 3];
+        let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        // Systems are interleaved *inside* each repeat so a workload's
+        // cells are measured back-to-back: slow phases of a shared host
+        // then hit all systems alike, and the paired `vs_noprefetch`
+        // ratios stay stable even when absolute wall times wander.
+        for _ in 0..repeats.max(1) {
+            let mut this = [0f64; 3];
+            for (i, &(_, system)) in systems.iter().enumerate() {
                 let start = Instant::now();
                 let report = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
                 let secs = start.elapsed().as_secs_f64();
-                accesses = report.counters.accesses;
-                best = best.min(secs);
+                accesses[i] = report.counters.accesses;
+                this[i] = secs;
+                best[i] = best[i].min(secs);
             }
+            // Index 0 is the repeat's own noprefetch run.
+            for i in 0..3 {
+                ratios[i].push(this[0] / this[i].max(1e-9));
+            }
+        }
+        for (i, &(name, _)) in systems.iter().enumerate() {
             rows.push(ThroughputRow {
                 workload: kind,
                 system: name,
-                accesses,
-                wall_secs: best,
-                accesses_per_sec: accesses as f64 / best.max(1e-9),
+                accesses: accesses[i],
+                wall_secs: best[i],
+                accesses_per_sec: accesses[i] as f64 / best[i].max(1e-9),
+                vs_noprefetch: if i == 0 { 1.0 } else { median(&mut ratios[i]) },
             });
         }
     }
     Ok(rows)
 }
 
+/// Median of a non-empty sample (mean of the middle pair when even).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Per-workload speedup ratios derived from one set of throughput rows:
+/// `(workload name, hopp vs fastswap, hopp vs noprefetch)`, in the
+/// rows' workload order. Ratios are accesses/sec quotients, so > 1.0
+/// means HoPP's full stack is *faster to simulate* than the baseline.
+pub fn throughput_summary(rows: &[ThroughputRow]) -> Vec<(String, f64, f64)> {
+    let mut out: Vec<(String, f64, f64)> = Vec::new();
+    let cell = |workload: WorkloadKind, system: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.workload == workload && r.system == system)
+            .map(|r| r.accesses_per_sec)
+    };
+    for r in rows {
+        if out.iter().any(|(w, _, _)| *w == r.workload.name()) {
+            continue;
+        }
+        let (Some(hopp), Some(fastswap), Some(nopf)) = (
+            cell(r.workload, "hopp"),
+            cell(r.workload, "fastswap"),
+            cell(r.workload, "noprefetch"),
+        ) else {
+            continue;
+        };
+        out.push((
+            r.workload.name().to_string(),
+            hopp / fastswap.max(1e-9),
+            hopp / nopf.max(1e-9),
+        ));
+    }
+    out
+}
+
 /// Renders throughput rows as the tracked `BENCH_throughput.json`
-/// document (hand-rolled JSON; the workspace has no serde).
+/// document (hand-rolled JSON; the workspace has no serde), including a
+/// `summary` block with the [`throughput_summary`] speedup ratios.
 pub fn throughput_json(scale: &Scale, repeats: u32, rows: &[ThroughputRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"hopp-bench-throughput/v1\",\n");
@@ -1138,12 +1207,140 @@ pub fn throughput_json(scale: &Scale, repeats: u32, rows: &[ThroughputRow]) -> S
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"system\": \"{}\", \"accesses\": {}, \
-             \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.0}}}{}\n",
+             \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.0}, \"vs_noprefetch\": {:.4}}}{}\n",
             r.workload.name(),
             r.system,
             r.accesses,
             r.wall_secs,
             r.accesses_per_sec,
+            r.vs_noprefetch,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    let summary = throughput_summary(rows);
+    if summary.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"summary\": [\n");
+    for (i, (workload, vs_fastswap, vs_nopf)) in summary.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"hopp_vs_fastswap\": {vs_fastswap:.3}, \
+             \"hopp_vs_noprefetch\": {vs_nopf:.3}}}{}\n",
+            if i + 1 == summary.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One prefetch-quality row: the scoreboard for a (workload, system)
+/// pair. Unlike [`throughput`], every field is a function of simulated
+/// state only, so rows are bit-stable for a given [`Scale`].
+#[derive(Clone, Debug)]
+pub struct QualityRow {
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// System under test.
+    pub system: &'static str,
+    /// Page accesses the run executed.
+    pub accesses: u64,
+    /// Pages prefetched (fault path + HoPP data path).
+    pub prefetched: u64,
+    /// Prefetched pages that were used before eviction.
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted unused.
+    pub wasted: u64,
+    /// Combined coverage, percent (§VI-A).
+    pub coverage_pct: f64,
+    /// Combined accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Wasted prefetches over all prefetches, percent.
+    pub pollution_pct: f64,
+    /// Mean lead time of useful prefetches, ns (hit-weighted across the
+    /// fault path and HoPP's data path).
+    pub mean_timeliness_ns: u64,
+}
+
+/// The systems on the quality scoreboard — the ones that prefetch.
+pub fn quality_systems() -> [(&'static str, SystemConfig); 2] {
+    [
+        ("fastswap", SystemConfig::Baseline(BaselineKind::Fastswap)),
+        ("hopp", SystemConfig::hopp_default()),
+    ]
+}
+
+/// Prefetch-quality scoreboard: coverage, accuracy, pollution and
+/// timeliness per workload × system at 50 % local memory, over the same
+/// workloads as [`throughput`]. Tracked as `BENCH_quality.json` and
+/// regression-gated by `cargo xtask gate` alongside the throughput
+/// trajectory.
+pub fn quality(scale: &Scale) -> Result<Vec<QualityRow>> {
+    let workloads = [
+        WorkloadKind::Kmeans,
+        WorkloadKind::Quicksort,
+        WorkloadKind::NpbMg,
+        WorkloadKind::GraphPr,
+    ];
+    let mut rows = Vec::new();
+    for &kind in &workloads {
+        let fp = scale.footprint_of(kind);
+        for (name, system) in quality_systems() {
+            let r = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+            let hopp = r.hopp.as_ref();
+            let prefetched = r.baseline.prefetched + hopp.map_or(0, |h| h.prefetched);
+            let hits = r.baseline.prefetch_hits + hopp.map_or(0, |h| h.prefetch_hits);
+            let wasted = r.baseline.wasted + hopp.map_or(0, |h| h.wasted);
+            let timeliness_weighted = r.baseline.mean_timeliness.as_nanos()
+                * r.baseline.prefetch_hits
+                + hopp.map_or(0, |h| h.mean_timeliness.as_nanos() * h.prefetch_hits);
+            rows.push(QualityRow {
+                workload: kind,
+                system: name,
+                accesses: r.counters.accesses,
+                prefetched,
+                prefetch_hits: hits,
+                wasted,
+                coverage_pct: r.coverage() * 100.0,
+                accuracy_pct: r.accuracy() * 100.0,
+                pollution_pct: if prefetched == 0 {
+                    0.0
+                } else {
+                    wasted as f64 / prefetched as f64 * 100.0
+                },
+                mean_timeliness_ns: timeliness_weighted / hits.max(1),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders quality rows as the tracked `BENCH_quality.json` document.
+pub fn quality_json(scale: &Scale, rows: &[QualityRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"hopp-bench-quality/v1\",\n");
+    out.push_str(&format!(
+        "  \"scale\": {{\"footprint\": {}, \"spark_footprint\": {}, \"seed\": {}}},\n",
+        scale.footprint, scale.spark_footprint, scale.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"system\": \"{}\", \"accesses\": {}, \
+             \"prefetched\": {}, \"prefetch_hits\": {}, \"wasted\": {}, \
+             \"coverage_pct\": {:.2}, \"accuracy_pct\": {:.2}, \"pollution_pct\": {:.2}, \
+             \"mean_timeliness_ns\": {}}}{}\n",
+            r.workload.name(),
+            r.system,
+            r.accesses,
+            r.prefetched,
+            r.prefetch_hits,
+            r.wasted,
+            r.coverage_pct,
+            r.accuracy_pct,
+            r.pollution_pct,
+            r.mean_timeliness_ns,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

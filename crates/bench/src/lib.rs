@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod format;
+pub mod gate;
 pub mod lab;
 
 pub use experiments::Scale;

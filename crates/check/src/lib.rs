@@ -12,7 +12,10 @@
 //!   workspace-wide, no ad-hoc `thread::spawn`/`thread::scope` anywhere
 //!   outside the sanctioned hopp-lab pool (`crates/bench/src/lab.rs`),
 //!   whose indexed-slot design keeps output byte-identical at any
-//!   thread count;
+//!   thread count. One carve-out: `hopp_prof::span(..)` guards may time
+//!   host work even in sim-critical crates, because the guard never
+//!   returns the measured value (raw reads like `Instant::now()` or
+//!   `hopp_prof::host_now_ns()` stay banned);
 //! * [`Rule::PanicPolicy`] — no `unwrap`/`expect`/`panic!` in non-test
 //!   hot-path code; failures travel as [`hopp_types::Error`]-style typed
 //!   errors instead;
@@ -20,7 +23,8 @@
 //!   newtypes (`Vpn`, `Ppn`, …) outside `crates/types`; use the explicit
 //!   conversion methods;
 //! * [`Rule::ConfigDrift`] — every `SimConfig` field is documented in
-//!   `docs/config.md` and reachable from a `hoppsim` CLI flag.
+//!   `docs/config.md` and reachable from a `hoppsim` CLI flag, and
+//!   every CLI flag with a match arm is listed in `usage()`.
 //!
 //! Individual findings can be waived in place with
 //! `// hopp-check: allow(<rule>): <reason>`; each waiver suppresses

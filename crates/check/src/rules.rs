@@ -29,7 +29,13 @@ const ID_NEWTYPES: [&str; 6] = ["Vpn", "Ppn", "Pid", "NodeId", "LineAddr", "Swap
 /// Identifiers banned in sim-critical code: wall-clock time, OS
 /// randomness and threading have no place inside the simulated clock
 /// domain, and default-hasher collections iterate in a random order.
-const DETERMINISM_BANS: [(&str, &str); 7] = [
+///
+/// Carve-out: `hopp_prof::span(..)` scope guards are the one sanctioned
+/// host-timing probe in sim-critical code. The guard records host time
+/// into thread-local profiler state but never returns the measured
+/// value, so host time cannot leak into simulated state; the raw reads
+/// (`Instant`, `hopp_prof::host_now_ns`) stay banned.
+const DETERMINISM_BANS: [(&str, &str); 8] = [
     (
         "Instant",
         "wall-clock time in sim code; simulated time is `Nanos` carried by the event loop",
@@ -45,6 +51,11 @@ const DETERMINISM_BANS: [(&str, &str); 7] = [
     (
         "thread::scope",
         "threads in sim code break deterministic replay; the simulator is single-threaded by design",
+    ),
+    (
+        "host_now_ns",
+        "raw host-clock read in sim code; use a `hopp_prof::span(..)` guard, which times \
+         host work without ever handing the measured value back to the caller",
     ),
     (
         "rand::",
@@ -274,6 +285,11 @@ fn contains_ident(code: &str, needle: &str) -> bool {
 /// `docs/config.md` with a CLI flag that actually exists in the
 /// `hoppsim` binary's source. The docs table *is* the mapping; drift in
 /// any of the three places (struct, docs, CLI) surfaces here.
+///
+/// Sub-check: when the CLI ships a `fn usage()` help text, every flag
+/// with a match arm must be listed in it — an arm with no usage line is
+/// invisible to users and drifts out of the docs unnoticed. Gated on
+/// `fn usage(` being present so minimal fixtures stay valid.
 pub fn check_config_drift(root: &Path, findings: &mut Vec<Finding>) {
     let config_rs = root.join("crates/sim/src/config.rs");
     let hoppsim_rs = root.join("crates/sim/src/bin/hoppsim.rs");
@@ -342,6 +358,92 @@ pub fn check_config_drift(root: &Path, findings: &mut Vec<Finding>) {
             });
         }
     }
+
+    if hoppsim_src.contains("fn usage(") {
+        let listed = usage_region_flags(&hoppsim_src);
+        let hoppsim_rel = crate::relative_to(root, &hoppsim_rs);
+        for (flag, lineno) in cli_arm_flags(&hoppsim_src) {
+            if !listed.iter().any(|l| l == &flag) {
+                findings.push(Finding {
+                    rule: Rule::ConfigDrift,
+                    file: hoppsim_rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "CLI flag `{flag}` has a match arm but no `usage()` line; list it \
+                         so the help text and docs/config.md can track it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(flag, line)` for every CLI match arm (`"--x" => …`, or
+/// `"--x" | "-y" => …`): lines whose trimmed form opens with a string
+/// literal and that contain `=>`, taking only flags left of the arrow
+/// so `value("--x")` calls in the arm body are not double-counted.
+fn cli_arm_flags(src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let t = line.trim_start();
+        if !t.starts_with('"') {
+            continue;
+        }
+        let Some(arrow) = t.find("=>") else { continue };
+        for flag in flag_tokens(&t[..arrow]) {
+            out.push((flag, idx + 1));
+        }
+    }
+    out
+}
+
+/// Flags listed in the `usage()` help text: everything between
+/// `fn usage(` and the function's closing brace in column 0.
+fn usage_region_flags(src: &str) -> Vec<String> {
+    let mut flags = Vec::new();
+    let mut inside = false;
+    for line in src.lines() {
+        if line.contains("fn usage(") {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if line.starts_with('}') {
+                break;
+            }
+            flags.extend(flag_tokens(line));
+        }
+    }
+    flags
+}
+
+/// `--[a-z][a-z0-9-]*` tokens in `s` (long flags only; `-h` shorthands
+/// are aliases of a long flag and not tracked).
+fn flag_tokens(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        if bytes[i] == b'-' && bytes[i + 1] == b'-' && bytes[i + 2].is_ascii_lowercase() {
+            if i > 0 && bytes[i - 1] == b'-' {
+                i += 1;
+                continue;
+            }
+            let mut end = i + 2;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'-')
+            {
+                end += 1;
+            }
+            out.push(s[i..end].trim_end_matches('-').to_string());
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
 }
 
 /// Extracts `(field, line)` pairs from `pub struct SimConfig { … }`.
@@ -443,6 +545,45 @@ pub struct Other { pub nope: u8 }
             fields.iter().map(|(f, _)| f.as_str()).collect::<Vec<_>>(),
             ["llc", "channels"]
         );
+    }
+
+    #[test]
+    fn cli_arm_flags_take_only_the_pattern_side() {
+        let src = "\
+fn main() {
+    match flag.as_str() {
+        \"--llc-kb\" => drop(value(\"--other\")),
+        \"--help\" | \"-h\" => usage(),
+        \"bursty\" => {}
+        _ => usage(),
+    }
+}
+";
+        let got = cli_arm_flags(src);
+        assert_eq!(
+            got,
+            vec![("--llc-kb".to_string(), 3), ("--help".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn usage_flags_stop_at_the_closing_brace() {
+        let src = "\
+fn usage() -> ! {
+    eprintln!(\"--a <n>  thing\\n  --b  other (see --c)\");
+}
+
+fn main() {
+    let _ = \"--not-usage\";
+}
+";
+        assert_eq!(usage_region_flags(src), ["--a", "--b", "--c"]);
+    }
+
+    #[test]
+    fn flag_tokens_need_exactly_two_dashes() {
+        assert_eq!(flag_tokens("--x ---y -z --ok-2"), ["--x", "--ok-2"]);
+        assert!(flag_tokens("a - b").is_empty());
     }
 
     #[test]

@@ -193,6 +193,40 @@ fn thread_policy_spares_only_the_lab_pool() {
 }
 
 #[test]
+fn prof_spans_pass_where_raw_host_clock_reads_fire() {
+    let report = check("profclock");
+    // The `hopp_prof::span("kernel/reclaim")` guard on line 5 is the
+    // sanctioned host-timing probe and produces nothing; the raw
+    // `Instant::now()` / `host_now_ns()` reads right below it each fire.
+    // The CLI fixture ships a `usage()` that forgot `--prof-folded`, so
+    // the usage-drift sub-check points at that arm.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Determinism, "crates/kernel/src/lib.rs", 6),
+            (Rule::Determinism, "crates/kernel/src/lib.rs", 7),
+            (Rule::ConfigDrift, "crates/sim/src/bin/hoppsim.rs", 19),
+        ],
+        "span guard spared, raw reads and the undocumented flag flagged\n{}",
+        report.render()
+    );
+    assert!(
+        report.findings[1].message.contains("hopp_prof::span"),
+        "steer names the sanctioned probe: {}",
+        report.findings[1].message
+    );
+    assert!(
+        report.findings[2].message.contains("--prof-folded")
+            && report.findings[2].message.contains("usage()"),
+        "names the flag and the missing surface: {}",
+        report.findings[2].message
+    );
+    assert_eq!(report.files_checked, 3);
+    assert_eq!(report.waiver_budget(), 0);
+}
+
+#[test]
 fn missing_config_surfaces_are_reported_not_fatal() {
     // A root with no crates/ directory at all is an IO error ...
     let bogus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/does-not-exist");

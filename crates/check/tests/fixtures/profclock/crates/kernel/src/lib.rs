@@ -1,0 +1,9 @@
+//! Fixture sim-critical code: `hopp_prof::span` guards are the
+//! sanctioned host-timing probe, raw host-clock reads are not.
+
+pub fn reclaim_frame() {
+    let _prof = hopp_prof::span("kernel/reclaim");
+    let t0 = std::time::Instant::now();
+    let ns = hopp_prof::host_now_ns();
+    observe(t0, ns);
+}

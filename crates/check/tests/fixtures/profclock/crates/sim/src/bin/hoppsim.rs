@@ -1,0 +1,24 @@
+//! Fixture CLI: `usage()` lists --prof-json but forgot --prof-folded.
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hoppsim [options]\n\
+         \n  --llc-kb <n>        LLC capacity in KiB\
+         \n  --prof-json <file>  write the host self-profile as JSON\
+         \n  --help              show this message"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--llc-kb" => drop(it.next()),
+            "--prof-json" => drop(it.next()),
+            "--prof-folded" => drop(it.next()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+}

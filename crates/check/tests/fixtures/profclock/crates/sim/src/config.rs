@@ -1,0 +1,7 @@
+//! Fixture SimConfig: fully documented, no field drift.
+
+/// Machine configuration.
+pub struct SimConfig {
+    /// LLC capacity.
+    pub llc: usize,
+}

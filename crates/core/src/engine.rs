@@ -99,6 +99,7 @@ impl HoppEngine {
     /// window is classified by one of the tiers (or the Markov trainer
     /// makes a prediction).
     pub fn on_hot_page_rec(&mut self, hot: &HotPage, rec: &mut dyn Recorder) -> Vec<PrefetchOrder> {
+        let _prof = hopp_prof::span("core/train");
         if self.ignore_shared && hot.flags.shared {
             return Vec::new();
         }

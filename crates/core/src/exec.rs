@@ -129,6 +129,7 @@ impl ExecutionEngine {
         pool: &mut dyn RemotePool,
         rec: &mut dyn Recorder,
     ) -> Result<Option<Nanos>> {
+        let _prof = hopp_prof::span("core/exec");
         debug_assert!(span >= 1);
         if self.inflight.contains_key(&(pid, vpn)) {
             self.stats.duplicate_inflight += 1;

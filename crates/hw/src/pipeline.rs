@@ -120,6 +120,9 @@ impl McPipeline {
         self.ledger.app_misses += 1;
         let channel = (line.raw() % self.hpds.len() as u64) as usize;
         let ppn = self.hpds[channel].on_miss(line, kind)?;
+        // Host-profiling scope for the rare hot-extraction path only; the
+        // common not-hot early return above stays span-free.
+        let _prof = hopp_prof::span("hw/hpd_extract");
         if rec.is_enabled() {
             rec.record(now, Event::HpdHot { ppn });
         }

@@ -264,6 +264,7 @@ impl ReversePageTable {
             return entry;
         }
         // Miss: read the DRAM copy and fill.
+        let _prof = hopp_prof::span("hw/rpt_walk");
         self.stats.dram_reads += 1;
         let entry = self.dram.get(ppn).copied();
         if entry.is_none() {

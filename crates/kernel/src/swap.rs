@@ -65,6 +65,7 @@ impl SwapDevice {
         now: Nanos,
         rec: &mut dyn Recorder,
     ) -> Result<SwapSlot> {
+        let _prof = hopp_prof::span("kernel/swap_alloc");
         if let Some(cap) = self.capacity {
             if self.contents.len() >= cap {
                 return Err(Error::RemoteMemoryExhausted {

@@ -14,6 +14,7 @@ use crate::event::{Component, TimedEvent};
 /// line, in recording order. The stable, greppable format for diffing
 /// two runs or piping into `jq`.
 pub fn events_to_jsonl(events: &[TimedEvent]) -> String {
+    let _prof = hopp_prof::span("obs/export");
     let mut out = String::with_capacity(events.len() * 96);
     for e in events {
         let _ = write!(
@@ -43,6 +44,19 @@ pub fn events_to_jsonl(events: &[TimedEvent]) -> String {
 ///   globally (hence per-track) non-decreasing even though interval
 ///   events are *recorded* at their end.
 pub fn events_to_chrome_trace(events: &[TimedEvent]) -> String {
+    events_to_chrome_trace_with_extra(events, "")
+}
+
+/// [`events_to_chrome_trace`] with a pre-rendered fragment of extra
+/// trace entries spliced in before the closing bracket — the hook the
+/// harness uses to merge host-side profiler spans
+/// (`hopp_prof::ProfReport::chrome_trace_fragment`) onto the simulated
+/// timeline as a second process.
+///
+/// `extra` must be either empty or a comma-separated sequence of JSON
+/// trace-event objects *without* leading/trailing separators.
+pub fn events_to_chrome_trace_with_extra(events: &[TimedEvent], extra: &str) -> String {
+    let _prof = hopp_prof::span("obs/export");
     // (start_ns, dur_ns, event) — sort by start for monotonic ts.
     let mut slices: Vec<(u64, u64, &TimedEvent)> = events
         .iter()
@@ -89,6 +103,10 @@ pub fn events_to_chrome_trace(events: &[TimedEvent]) -> String {
         let _ = write!(out, "{}", e.at.as_nanos());
         e.event.write_args_json(&mut out);
         out.push_str("}}");
+    }
+    if !extra.is_empty() {
+        push_sep(&mut out, &mut first);
+        out.push_str(extra);
     }
     out.push_str("]}");
     out

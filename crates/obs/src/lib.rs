@@ -48,7 +48,7 @@ pub mod hist;
 pub mod recorder;
 
 pub use event::{Component, Event, TierKind, TimedEvent};
-pub use export::{events_to_chrome_trace, events_to_jsonl};
+pub use export::{events_to_chrome_trace, events_to_chrome_trace_with_extra, events_to_jsonl};
 pub use hist::{
     Histogram, HistogramSummary, LatencyHistograms, LatencySummaries, NodeHistograms,
     NodeLatencySummary,

@@ -11,12 +11,17 @@
 
 use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
 use hopp_core::{HoppConfig, MarkovConfig, TrainerKind};
-use hopp_obs::{events_to_chrome_trace, ObsLevel};
+use hopp_obs::{events_to_chrome_trace_with_extra, ObsLevel};
 use hopp_sim::{
     run_local, run_workload_with, run_workload_with_faults, BaselineKind, FabricConfig,
     FaultScript, PlacementKind, SimConfig, SimReport, SystemConfig,
 };
 use hopp_workloads::WorkloadKind;
+
+/// Count heap allocations per thread so `--prof-json` spans can report
+/// allocation churn alongside wall time (allocators are per-binary).
+#[global_allocator]
+static ALLOC: hopp_prof::alloc::CountingAlloc = hopp_prof::alloc::CountingAlloc;
 
 #[derive(Debug)]
 struct Args {
@@ -52,6 +57,8 @@ struct Args {
     trace_out: Option<String>,
     metrics_json: Option<String>,
     timeline_out: Option<String>,
+    prof_json: Option<String>,
+    prof_folded: Option<String>,
 }
 
 impl Default for Args {
@@ -89,6 +96,8 @@ impl Default for Args {
             trace_out: None,
             metrics_json: None,
             timeline_out: None,
+            prof_json: None,
+            prof_folded: None,
         }
     }
 }
@@ -152,7 +161,10 @@ fn usage() -> ! {
          \n  --trace-out <file>   write a Chrome/Perfetto trace (implies full)\
          \n  --metrics-json <file> write counters + latency percentiles as JSON\
          \n  --timeline-out <file> write timeline samples as CSV\
-         \n  --list               list workloads and exit"
+         \n  --prof-json <file>   write the host self-profile (time + allocs per span) as JSON\
+         \n  --prof-folded <file> write the host self-profile as collapsed stacks (flamegraph input)\
+         \n  --list               list workloads and exit\
+         \n  --help               show this message"
     );
     std::process::exit(2);
 }
@@ -275,6 +287,8 @@ fn parse_args() -> Args {
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
             "--timeline-out" => args.timeline_out = Some(value("--timeline-out")),
+            "--prof-json" => args.prof_json = Some(value("--prof-json")),
+            "--prof-folded" => args.prof_folded = Some(value("--prof-folded")),
             "--list" => {
                 println!("{:<13} {:>6} {:>5}  model", "workload", "GB", "cores");
                 for k in WorkloadKind::ALL {
@@ -454,9 +468,24 @@ fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
     }
 }
 
+/// True when the run should carry the host self-profiler.
+fn profiling(args: &Args) -> bool {
+    args.prof_json.is_some() || args.prof_folded.is_some()
+}
+
+/// Arms the profiler for the measured run (a no-op when no `--prof-*`
+/// flag was given). Span events — needed only to merge host spans onto
+/// the Chrome trace — are retained only when a trace is requested.
+fn prof_begin(args: &Args, workload: &str) {
+    if profiling(args) {
+        hopp_prof::enable(args.trace_out.is_some());
+        hopp_prof::set_key(workload, &args.system, "run");
+    }
+}
+
 /// Writes the side outputs (`--trace-out`, `--metrics-json`,
-/// `--timeline-out`) after a run.
-fn write_outputs(args: &Args, r: &SimReport) {
+/// `--timeline-out`, `--prof-json`, `--prof-folded`) after a run.
+fn write_outputs(args: &Args, r: &SimReport, prof: Option<&hopp_prof::ProfReport>) {
     let write = |path: &str, contents: String, what: &str| {
         if let Err(e) = std::fs::write(path, contents) {
             eprintln!("writing {what} to {path}: {e}");
@@ -464,7 +493,12 @@ fn write_outputs(args: &Args, r: &SimReport) {
         }
     };
     if let Some(path) = &args.trace_out {
-        write(path, events_to_chrome_trace(&r.obs.events), "trace");
+        // Host profiler spans ride along as a second process ("host")
+        // next to the simulated-time tracks.
+        let extra = prof.map(hopp_prof::ProfReport::chrome_trace_fragment);
+        let trace =
+            events_to_chrome_trace_with_extra(&r.obs.events, extra.as_deref().unwrap_or(""));
+        write(path, trace, "trace");
         println!(
             "\ntrace             {} events -> {path} ({} dropped; open in Perfetto)",
             r.obs.events.len(),
@@ -478,6 +512,20 @@ fn write_outputs(args: &Args, r: &SimReport) {
     if let Some(path) = &args.timeline_out {
         write(path, r.timeline_csv(), "timeline");
         println!("timeline          {} samples -> {path}", r.timeline.len());
+    }
+    if let Some(p) = prof {
+        if let Some(path) = &args.prof_json {
+            write(path, p.to_json(), "profile");
+            println!(
+                "profile           {} spans, {} of host time -> {path}",
+                p.nodes.len(),
+                hopp_types::Nanos::from_nanos(p.attributed_ns())
+            );
+        }
+        if let Some(path) = &args.prof_folded {
+            write(path, p.to_folded(), "folded profile");
+            println!("folded profile    -> {path} (feed to flamegraph.pl / inferno)");
+        }
     }
 }
 
@@ -581,7 +629,9 @@ fn main() {
                 std::process::exit(2);
             });
         }
+        prof_begin(&args, "replay");
         let report = sim.run().unwrap_or_else(fail_run);
+        let prof = hopp_prof::disable();
         // Normalized against an all-local replay of the same trace.
         let local_app = hopp_sim::AppSpec {
             pid,
@@ -604,11 +654,13 @@ fn main() {
         .run()
         .unwrap_or_else(fail_run);
         print_report(&args, local.completion.as_nanos() as f64, &report);
-        write_outputs(&args, &report);
+        write_outputs(&args, &report, prof.as_ref());
         return;
     }
 
     let local = run_local(args.workload, args.footprint, args.seed).unwrap_or_else(fail_run);
+    // Profile only the measured run, not the all-local normalization run.
+    prof_begin(&args, args.workload.name());
     let report = match &args.fault_script {
         Some(script) => run_workload_with_faults(
             config,
@@ -621,8 +673,9 @@ fn main() {
         None => run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio),
     }
     .unwrap_or_else(fail_run);
+    let prof = hopp_prof::disable();
     print_report(&args, local.completion.as_nanos() as f64, &report);
-    write_outputs(&args, &report);
+    write_outputs(&args, &report, prof.as_ref());
 }
 
 #[cfg(test)]

@@ -224,6 +224,9 @@ impl Simulator {
     /// remote node, or an internal bookkeeping violation. Fault
     /// injection runs surface here instead of panicking.
     pub fn run(mut self) -> Result<SimReport> {
+        // Host-side profiling root; inert unless the harness called
+        // `hopp_prof::enable` (never feeds back into simulated state).
+        let _prof = hopp_prof::span("sim/run");
         // Round-robin across apps at access granularity: the
         // single-node interleaving that makes streams intertwine.
         let mut live: Vec<usize> = (0..self.apps.len()).collect();
@@ -231,7 +234,10 @@ impl Simulator {
         while !live.is_empty() {
             cursor %= live.len();
             let app_idx = live[cursor];
-            let next = self.apps[app_idx].1.stream.next_access();
+            let next = {
+                let _prof = hopp_prof::span("trace/stream");
+                self.apps[app_idx].1.stream.next_access()
+            };
             match next {
                 Some(access) => {
                     self.step(app_idx, access)?;
@@ -248,6 +254,7 @@ impl Simulator {
 
     /// Executes one page access.
     fn step(&mut self, app_idx: usize, access: PageAccess) -> Result<()> {
+        let _prof = hopp_prof::span("sim/step");
         self.clock += Nanos::from_nanos(u64::from(access.think_ns));
         self.drain_completions()?;
         self.counters.accesses += 1;
@@ -391,6 +398,7 @@ impl Simulator {
         vpn: Vpn,
         access: &PageAccess,
     ) -> Result<()> {
+        let _prof = hopp_prof::span("kernel/minor_fault");
         self.clock += self.config.latency.prefetch_hit();
         self.counters.minor_faults += 1;
         self.apps[app_idx].1.minor_faults += 1;
@@ -438,6 +446,7 @@ impl Simulator {
         slot: hopp_types::SwapSlot,
         access: &PageAccess,
     ) -> Result<()> {
+        let _prof = hopp_prof::span("kernel/major_fault");
         self.counters.major_faults += 1;
         self.apps[app_idx].1.major_faults += 1;
         self.base_metrics.on_demand_remote();
@@ -486,6 +495,7 @@ impl Simulator {
 
     /// First touch: zero-fill, no remote traffic.
     fn first_touch(&mut self, pid: Pid, vpn: Vpn, access: &PageAccess) -> Result<()> {
+        let _prof = hopp_prof::span("kernel/first_touch");
         self.clock += self.config.latency.context_switch + self.config.latency.pte_establish;
         self.counters.first_touches += 1;
         if self.recorder.is_enabled() {
@@ -541,6 +551,7 @@ impl Simulator {
 
     /// The per-cacheline memory-system walk of one page touch.
     fn line_loop(&mut self, pid: Pid, vpn: Vpn, ppn: Ppn, access: &PageAccess) -> Result<()> {
+        let _prof = hopp_prof::span("llc/loop");
         for line in 0..access.lines {
             let addr = ppn.line(line);
             if self.llc.access(addr, access.kind) {
@@ -651,6 +662,7 @@ impl Simulator {
 
     /// Runs the fault-path prefetcher and issues its requests.
     fn notify_baseline(&mut self, fault: FaultInfo) -> Result<()> {
+        let _prof = hopp_prof::span("kernel/readahead");
         let mut reqs = std::mem::take(&mut self.prefetch_buf);
         reqs.clear();
         self.baseline.on_fault(&fault, &self.swapdev, &mut reqs);
@@ -702,6 +714,7 @@ impl Simulator {
 
     /// Processes every async arrival due by the current clock.
     fn drain_completions(&mut self) -> Result<()> {
+        let _prof = hopp_prof::span("sim/drain");
         while let Some((done, arrival)) = self.base_cq.pop_due(self.clock) {
             self.handle_base_arrival(arrival, done)?;
         }
@@ -866,6 +879,7 @@ impl Simulator {
     /// With `reclaim_in_advance = false` (pre-v5.8 kernels) the per-page
     /// reclaim cost lands on the current fault's critical path.
     fn evict_frame(&mut self, ppn: Ppn) -> Result<()> {
+        let _prof = hopp_prof::span("kernel/reclaim");
         if !self.config.reclaim_in_advance {
             self.clock += self.config.latency.reclaim_per_page;
         }

@@ -1,16 +1,22 @@
 //! `cargo xtask` — repo-local task runner.
 //!
-//! The only task today is `check`: the `hopp-check` static-analysis
-//! pass over the whole workspace (see `docs/static-analysis.md`).
-//! Invoked through the alias in `.cargo/config.toml`:
+//! Two tasks today, invoked through the alias in `.cargo/config.toml`:
 //!
 //! ```text
-//! cargo xtask check
+//! cargo xtask check               # hopp-check static analysis
+//! cargo xtask gate [--quick] [--update]   # BENCH_*.json regression gate
 //! ```
 //!
-//! Exits 0 when the workspace is clean, 1 on findings, 2 on usage or
-//! IO errors. The summary always reports the waiver budget so CI logs
-//! show how many findings are suppressed and by which rule.
+//! `check` runs the `hopp-check` static-analysis pass over the whole
+//! workspace (see `docs/static-analysis.md`). `gate` re-runs the
+//! throughput and quality experiments at the scale recorded in the
+//! committed `BENCH_throughput.json` / `BENCH_quality.json` baselines
+//! and fails on per-row regressions (see `docs/observability.md`);
+//! `--quick` runs 3 throughput repeats for CI, `--update` rewrites
+//! the baselines from fresh runs.
+//!
+//! Exits 0 when clean/passing, 1 on findings or gate breaches, 2 on
+//! usage or IO errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,12 +35,18 @@ fn main() -> ExitCode {
     let task = args.next().unwrap_or_else(|| "check".to_string());
     match task.as_str() {
         "check" => run_check(),
+        "gate" => run_gate(&args.collect::<Vec<_>>()),
         "--help" | "-h" | "help" => {
-            eprintln!("usage: cargo xtask [check]\n\n  check   run the hopp-check static-analysis pass (default)");
+            eprintln!(
+                "usage: cargo xtask [check | gate [--quick] [--update]]\n\n  \
+                 check   run the hopp-check static-analysis pass (default)\n  \
+                 gate    diff fresh BENCH_*.json runs against the committed baselines\n          \
+                 (--quick runs 3 throughput repeats, --update rewrites the baselines)"
+            );
             ExitCode::from(2)
         }
         other => {
-            eprintln!("unknown xtask `{other}` (try `cargo xtask check`)");
+            eprintln!("unknown xtask `{other}` (try `cargo xtask check` or `cargo xtask gate`)");
             ExitCode::from(2)
         }
     }
@@ -52,6 +64,29 @@ fn run_check() -> ExitCode {
         }
         Err(e) => {
             eprintln!("hopp-check failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_gate(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    let update = args.iter().any(|a| a == "--update");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick" && *a != "--update") {
+        eprintln!("unknown gate flag `{bad}` (--quick | --update)");
+        return ExitCode::from(2);
+    }
+    match hopp_bench::gate::run_gate(&workspace_root(), quick, update) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("gate failed: {e}");
             ExitCode::from(2)
         }
     }

@@ -23,6 +23,7 @@
 //! | [`baselines`] | `hopp-baselines` | Fastswap, Leap, VMA, Depth-N |
 //! | [`workloads`] | `hopp-workloads` | the paper's 15 application models |
 //! | [`obs`] | `hopp-obs` | event tracing, histograms, trace export |
+//! | [`prof`] | `hopp-prof` | host-side span profiler (time + allocation attribution) |
 //! | [`sim`] | `hopp-sim` | the integrated simulator and runners |
 //!
 //! # Quick start
@@ -56,6 +57,7 @@ pub use hopp_kernel as kernel;
 pub use hopp_mem as mem;
 pub use hopp_net as net;
 pub use hopp_obs as obs;
+pub use hopp_prof as prof;
 pub use hopp_sim as sim;
 pub use hopp_trace as trace;
 pub use hopp_types as types;

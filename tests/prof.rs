@@ -1,0 +1,66 @@
+//! End-to-end checks of the host self-profiler (`hopp-prof`) against a
+//! real simulated run: attribution quality when enabled, and behavioural
+//! invariance of the simulation itself when toggled.
+
+use hopp::prof;
+use hopp::sim::{run_workload, SimReport, SystemConfig};
+use hopp::types::Result;
+use hopp::workloads::WorkloadKind;
+
+fn hopp_run() -> Result<SimReport> {
+    run_workload(
+        WorkloadKind::Kmeans,
+        2_048,
+        42,
+        SystemConfig::hopp_default(),
+        0.5,
+    )
+}
+
+/// The acceptance bar from the observability PR: with profiling on, at
+/// least 90% of the hopp-system run's wall time must land in named
+/// component spans below the `sim/run` root — i.e. the root's self time
+/// (the part no component claimed) stays under 10%.
+#[test]
+fn profiler_attributes_most_host_time_to_component_spans() {
+    let (result, report) = prof::profile("kmeans", "hopp", "run", false, hopp_run);
+    result.expect("hopp run failed");
+    let run = report.node("sim/run").expect("no sim/run span");
+    assert!(run.count >= 1);
+    assert!(run.total_ns > 0, "sim/run measured no time");
+    assert!(
+        run.self_ns * 10 <= run.total_ns,
+        "only {} of {} ns attributed below sim/run ({} ns unattributed self time)",
+        run.total_ns - run.self_ns,
+        run.total_ns,
+        run.self_ns
+    );
+    // The big component families all showed up.
+    for path in [
+        "sim/run;sim/step",
+        "sim/run;sim/step;sim/drain",
+        "sim/run;trace/stream",
+    ] {
+        assert!(report.node(path).is_some(), "missing span {path}");
+    }
+    assert!(
+        report.nodes.iter().any(|n| n.label == "kernel/reclaim"),
+        "no kernel/reclaim span in a 50%-local run"
+    );
+    assert!(
+        report.nodes.iter().any(|n| n.label == "core/train"),
+        "no core/train span in a hopp run"
+    );
+}
+
+/// Toggling the profiler must never change simulated behaviour: the
+/// spans only read the host clock, the simulator never reads it back.
+#[test]
+fn profiling_never_changes_simulated_behaviour() {
+    let plain = hopp_run().expect("hopp run failed");
+    let (profiled, report) = prof::profile("kmeans", "hopp", "run", true, hopp_run);
+    let profiled = profiled.expect("hopp run failed");
+    assert!(report.attributed_ns() > 0);
+    assert_eq!(plain.completion, profiled.completion);
+    assert_eq!(plain.metrics_json(), profiled.metrics_json());
+}
