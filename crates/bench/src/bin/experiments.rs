@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use hopp_bench::experiments as ex;
 use hopp_bench::format::{bar_chart, frac, pct, render_json, render_table};
 use hopp_bench::{lab, Scale};
+use hopp_scn::{Scenario, WorkloadSource};
 use hopp_types::Result;
 
 /// `--json`: emit machine-readable rows instead of aligned tables.
@@ -85,8 +86,11 @@ fn real_main() -> i32 {
         CHART_MODE.store(true, Ordering::Relaxed);
         args.retain(|a| a != "--chart");
     }
+    let full = args.iter().any(|a| a == "--full");
+    args.retain(|a| a != "--full");
     let mut overrides: Vec<(String, u64)> = Vec::new();
     let mut threads: usize = 1;
+    let mut scenarios: Vec<Scenario> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if (args[i] == "--seed" || args[i] == "--footprint") && i + 1 < args.len() {
@@ -102,6 +106,17 @@ fn real_main() -> i32 {
                 args.drain(i..=i + 1);
                 continue;
             }
+        }
+        if args[i] == "--scenarios" && i + 1 < args.len() {
+            match load_scenarios(&args[i + 1]) {
+                Ok(loaded) => scenarios.extend(loaded),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+            args.drain(i..=i + 1);
+            continue;
         }
         i += 1;
     }
@@ -121,12 +136,16 @@ fn real_main() -> i32 {
         }
     }
     if args.first().map(String::as_str) == Some("sweep") {
-        return sweep_main(&args[1..], &scale, threads);
+        return sweep_main(&args[1..], &scale, threads, full, scenarios);
     }
     if args.is_empty() {
-        eprintln!("usage: experiments [--quick] [--json] [--threads N] <all|sweep|throughput|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
+        eprintln!("usage: experiments [--quick] [--json] [--threads N] [--full] [--scenarios DIR|FILE] <all|sweep|throughput|table2..table5|fig9..fig22|motivate|intensity|channels|hugepage|markov|reclaim|sensitivity|hwcost> ...");
         return 2;
     }
+    // The throughput/quality workload axis: the tracked 4-workload
+    // default, the full 15-workload catalogue behind `--full`, plus any
+    // `--scenarios` entries in both cases.
+    let axis = bench_axis(full, &scenarios);
     let selected: Vec<String> = if args.iter().any(|a| a == "all") {
         let mut v: Vec<String> = ALL.iter().map(|s| s.to_string()).collect();
         v.push("hwcost".to_string());
@@ -137,7 +156,9 @@ fn real_main() -> i32 {
     // Every experiment renders into its own buffer on the lab pool;
     // buffers print in selection order, so `--threads N` output is
     // byte-identical to `--threads 1`.
-    let outputs = lab::run_indexed(threads, selected.len(), |i| run(&selected[i], &scale));
+    let outputs = lab::run_indexed(threads, selected.len(), |i| {
+        run(&selected[i], &scale, &axis)
+    });
     let mut failed = 0;
     for (name, output) in selected.iter().zip(outputs) {
         match output {
@@ -151,9 +172,37 @@ fn real_main() -> i32 {
     i32::from(failed > 0)
 }
 
+/// Loads scenarios from a `--scenarios` argument: every `*.toml` in a
+/// directory (sorted by filename), or one file.
+fn load_scenarios(path: &str) -> std::result::Result<Vec<Scenario>, hopp_scn::ScnError> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        hopp_scn::load_dir(p)
+    } else {
+        Scenario::from_file(p).map(|s| vec![s])
+    }
+}
+
+/// The quality/throughput workload axis for one invocation.
+fn bench_axis(full: bool, scenarios: &[Scenario]) -> Vec<WorkloadSource> {
+    if full {
+        ex::full_bench_workloads(scenarios)
+    } else {
+        let mut axis = ex::default_bench_workloads();
+        axis.extend(scenarios.iter().cloned().map(WorkloadSource::Scenario));
+        axis
+    }
+}
+
 /// Runs the `sweep` subcommand: a (workload × system × seed) grid on
 /// the lab pool with per-cell disk caching.
-fn sweep_main(args: &[String], scale: &Scale, threads: usize) -> i32 {
+fn sweep_main(
+    args: &[String],
+    scale: &Scale,
+    threads: usize,
+    full: bool,
+    scenarios: Vec<Scenario>,
+) -> i32 {
     let mut spec = lab::SweepSpec::quick();
     spec.footprint = scale.footprint;
     spec.spark_footprint = scale.spark_footprint;
@@ -174,7 +223,7 @@ fn sweep_main(args: &[String], scale: &Scale, threads: usize) -> i32 {
                 let mut workloads = Vec::new();
                 for name in list.split(',') {
                     match lab::workload_by_name(name) {
-                        Some(kind) => workloads.push(kind),
+                        Some(kind) => workloads.push(WorkloadSource::Catalogue(kind)),
                         None => {
                             eprintln!("unknown workload: {name}");
                             return 2;
@@ -221,15 +270,23 @@ fn sweep_main(args: &[String], scale: &Scale, threads: usize) -> i32 {
             ("--trace-out", Some(path)) => trace_out = Some(path.clone()),
             _ => {
                 eprintln!(
-                    "usage: experiments sweep [--quick] [--threads N] [--workloads a,b] \
-                     [--systems a,b] [--seeds 1,2] [--ratio F] [--cache-dir DIR] [--no-cache] \
-                     [--out FILE] [--trace-out FILE]"
+                    "usage: experiments sweep [--quick] [--threads N] [--full] [--workloads a,b] \
+                     [--scenarios DIR|FILE] [--systems a,b] [--seeds 1,2] [--ratio F] \
+                     [--cache-dir DIR] [--no-cache] [--out FILE] [--trace-out FILE]"
                 );
                 return 2;
             }
         }
         i += if took_value { 2 } else { 1 };
     }
+    if full {
+        spec.workloads = hopp_workloads::WorkloadKind::ALL
+            .into_iter()
+            .map(WorkloadSource::Catalogue)
+            .collect();
+    }
+    spec.workloads
+        .extend(scenarios.into_iter().map(WorkloadSource::Scenario));
     let started = std::time::Instant::now();
     let outcome = match lab::run_sweep(&spec) {
         Ok(outcome) => outcome,
@@ -271,7 +328,7 @@ fn sweep_main(args: &[String], scale: &Scale, threads: usize) -> i32 {
     i32::from(outcome.cells_failed > 0)
 }
 
-fn run(name: &str, scale: &Scale) -> Result<String> {
+fn run(name: &str, scale: &Scale, axis: &[WorkloadSource]) -> Result<String> {
     match name {
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -296,8 +353,8 @@ fn run(name: &str, scale: &Scale) -> Result<String> {
         "latency" => latency(scale),
         "fabric" => fabric(scale),
         "faults" => faults(scale),
-        "throughput" => throughput(scale),
-        "quality" => quality(scale),
+        "throughput" => throughput(scale, axis),
+        "quality" => quality(scale, axis),
         "hwcost" => Ok(hwcost()),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -989,19 +1046,19 @@ fn faults(scale: &Scale) -> Result<String> {
     Ok(out)
 }
 
-fn throughput(scale: &Scale) -> Result<String> {
+fn throughput(scale: &Scale, axis: &[WorkloadSource]) -> Result<String> {
     // Median-of-5 paired ratios keep the gated `vs_noprefetch` column
     // stable on noisy shared hosts; the extra repeats cost ~1 s.
     const REPEATS: u32 = 5;
     let mut out = format!(
         "\n## Throughput — simulator wall-clock accesses/sec (50% local, best of {REPEATS})\n\n"
     );
-    let rows = ex::throughput(scale, REPEATS)?;
+    let rows = ex::throughput_over(scale, REPEATS, axis)?;
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
-                r.workload.name().to_string(),
+                r.workload.clone(),
                 r.system.to_string(),
                 r.accesses.to_string(),
                 format!("{:.1} ms", r.wall_secs * 1e3),
@@ -1024,16 +1081,16 @@ fn throughput(scale: &Scale) -> Result<String> {
     Ok(out)
 }
 
-fn quality(scale: &Scale) -> Result<String> {
+fn quality(scale: &Scale, axis: &[WorkloadSource]) -> Result<String> {
     let mut out = String::from(
         "\n## Quality — prefetch coverage/accuracy/pollution scoreboard (50% local)\n\n",
     );
-    let rows = ex::quality(scale)?;
+    let rows = ex::quality_over(scale, axis)?;
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
-                r.workload.name().to_string(),
+                r.workload.clone(),
                 r.system.to_string(),
                 format!("{:.2}", r.coverage_pct),
                 format!("{:.2}", r.accuracy_pct),

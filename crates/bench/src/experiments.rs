@@ -9,6 +9,8 @@
 use hopp_core::three_tier::TierConfig;
 use hopp_core::{HoppConfig, PolicyConfig};
 use hopp_hw::{HpdConfig, HwCostModel, RptCacheConfig};
+use hopp_scn::{Scenario, WorkloadSource};
+use hopp_sim::runner::SOLO_PID;
 use hopp_sim::{
     AppSpec, BaselineKind, FabricConfig, FaultScript, PlacementKind, SimConfig, SimReport,
     Simulator, SystemConfig,
@@ -57,6 +59,32 @@ impl Scale {
             self.footprint
         }
     }
+}
+
+/// The four workloads the tracked `BENCH_*.json` baselines are recorded
+/// over (one per pattern family: scan, phase-chained, ripple, graph).
+pub fn default_bench_workloads() -> Vec<WorkloadSource> {
+    [
+        WorkloadKind::Kmeans,
+        WorkloadKind::Quicksort,
+        WorkloadKind::NpbMg,
+        WorkloadKind::GraphPr,
+    ]
+    .into_iter()
+    .map(WorkloadSource::Catalogue)
+    .collect()
+}
+
+/// The widened `--full` axis: the entire 15-workload catalogue plus any
+/// scenarios, so the quality/throughput grid scales past 20 entries
+/// from a checked-in `scenarios/` directory.
+pub fn full_bench_workloads(scenarios: &[Scenario]) -> Vec<WorkloadSource> {
+    let mut out: Vec<WorkloadSource> = WorkloadKind::ALL
+        .into_iter()
+        .map(WorkloadSource::Catalogue)
+        .collect();
+    out.extend(scenarios.iter().cloned().map(WorkloadSource::Scenario));
+    out
 }
 
 /// One (workload, system) evaluation at a memory ratio.
@@ -1059,8 +1087,8 @@ pub fn fault_study(scale: &Scale) -> Result<Vec<FaultRow>> {
 /// (workload, system) pair.
 #[derive(Clone, Debug)]
 pub struct ThroughputRow {
-    /// The workload.
-    pub workload: WorkloadKind,
+    /// The workload (catalogue name or scenario name).
+    pub workload: String,
     /// System under test.
     pub system: &'static str,
     /// Page accesses the run executed.
@@ -1100,16 +1128,20 @@ pub fn throughput_systems() -> [(&'static str, SystemConfig); 3] {
 /// tracked `BENCH_throughput.json` trajectory. Simulated results are
 /// seeded and identical across repeats; only the wall clock varies.
 pub fn throughput(scale: &Scale, repeats: u32) -> Result<Vec<ThroughputRow>> {
+    throughput_over(scale, repeats, &default_bench_workloads())
+}
+
+/// [`throughput`] over an explicit workload axis — catalogue workloads
+/// and scenarios mix freely (`--full` and `--scenarios` route here).
+pub fn throughput_over(
+    scale: &Scale,
+    repeats: u32,
+    workloads: &[WorkloadSource],
+) -> Result<Vec<ThroughputRow>> {
     use std::time::Instant;
-    let workloads = [
-        WorkloadKind::Kmeans,
-        WorkloadKind::Quicksort,
-        WorkloadKind::NpbMg,
-        WorkloadKind::GraphPr,
-    ];
     let mut rows = Vec::new();
-    for &kind in &workloads {
-        let fp = scale.footprint_of(kind);
+    for source in workloads {
+        let fp = source.footprint(scale.footprint, scale.spark_footprint);
         let systems = throughput_systems();
         let mut accesses = [0u64; 3];
         let mut best = [f64::INFINITY; 3];
@@ -1122,7 +1154,14 @@ pub fn throughput(scale: &Scale, repeats: u32) -> Result<Vec<ThroughputRow>> {
             let mut this = [0f64; 3];
             for (i, &(_, system)) in systems.iter().enumerate() {
                 let start = Instant::now();
-                let report = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+                let stream = source.build(SOLO_PID, fp, scale.seed);
+                let report = hopp_sim::run_stream_with(
+                    SimConfig::with_system(system),
+                    SOLO_PID,
+                    stream,
+                    fp,
+                    0.5,
+                )?;
                 let secs = start.elapsed().as_secs_f64();
                 accesses[i] = report.counters.accesses;
                 this[i] = secs;
@@ -1135,7 +1174,7 @@ pub fn throughput(scale: &Scale, repeats: u32) -> Result<Vec<ThroughputRow>> {
         }
         for (i, &(name, _)) in systems.iter().enumerate() {
             rows.push(ThroughputRow {
-                workload: kind,
+                workload: source.name().to_string(),
                 system: name,
                 accesses: accesses[i],
                 wall_secs: best[i],
@@ -1167,24 +1206,24 @@ fn median(xs: &mut [f64]) -> f64 {
 /// means HoPP's full stack is *faster to simulate* than the baseline.
 pub fn throughput_summary(rows: &[ThroughputRow]) -> Vec<(String, f64, f64)> {
     let mut out: Vec<(String, f64, f64)> = Vec::new();
-    let cell = |workload: WorkloadKind, system: &str| -> Option<f64> {
+    let cell = |workload: &str, system: &str| -> Option<f64> {
         rows.iter()
             .find(|r| r.workload == workload && r.system == system)
             .map(|r| r.accesses_per_sec)
     };
     for r in rows {
-        if out.iter().any(|(w, _, _)| *w == r.workload.name()) {
+        if out.iter().any(|(w, _, _)| *w == r.workload) {
             continue;
         }
         let (Some(hopp), Some(fastswap), Some(nopf)) = (
-            cell(r.workload, "hopp"),
-            cell(r.workload, "fastswap"),
-            cell(r.workload, "noprefetch"),
+            cell(&r.workload, "hopp"),
+            cell(&r.workload, "fastswap"),
+            cell(&r.workload, "noprefetch"),
         ) else {
             continue;
         };
         out.push((
-            r.workload.name().to_string(),
+            r.workload.clone(),
             hopp / fastswap.max(1e-9),
             hopp / nopf.max(1e-9),
         ));
@@ -1208,7 +1247,7 @@ pub fn throughput_json(scale: &Scale, repeats: u32, rows: &[ThroughputRow]) -> S
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"system\": \"{}\", \"accesses\": {}, \
              \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.0}, \"vs_noprefetch\": {:.4}}}{}\n",
-            r.workload.name(),
+            r.workload,
             r.system,
             r.accesses,
             r.wall_secs,
@@ -1240,8 +1279,8 @@ pub fn throughput_json(scale: &Scale, repeats: u32, rows: &[ThroughputRow]) -> S
 /// state only, so rows are bit-stable for a given [`Scale`].
 #[derive(Clone, Debug)]
 pub struct QualityRow {
-    /// The workload.
-    pub workload: WorkloadKind,
+    /// The workload (catalogue name or scenario name).
+    pub workload: String,
     /// System under test.
     pub system: &'static str,
     /// Page accesses the run executed.
@@ -1277,17 +1316,24 @@ pub fn quality_systems() -> [(&'static str, SystemConfig); 2] {
 /// regression-gated by `cargo xtask gate` alongside the throughput
 /// trajectory.
 pub fn quality(scale: &Scale) -> Result<Vec<QualityRow>> {
-    let workloads = [
-        WorkloadKind::Kmeans,
-        WorkloadKind::Quicksort,
-        WorkloadKind::NpbMg,
-        WorkloadKind::GraphPr,
-    ];
+    quality_over(scale, &default_bench_workloads())
+}
+
+/// [`quality`] over an explicit workload axis — catalogue workloads and
+/// scenarios mix freely (`--full` and `--scenarios` route here).
+pub fn quality_over(scale: &Scale, workloads: &[WorkloadSource]) -> Result<Vec<QualityRow>> {
     let mut rows = Vec::new();
-    for &kind in &workloads {
-        let fp = scale.footprint_of(kind);
+    for source in workloads {
+        let fp = source.footprint(scale.footprint, scale.spark_footprint);
         for (name, system) in quality_systems() {
-            let r = hopp_sim::run_workload(kind, fp, scale.seed, system, 0.5)?;
+            let stream = source.build(SOLO_PID, fp, scale.seed);
+            let r = hopp_sim::run_stream_with(
+                SimConfig::with_system(system),
+                SOLO_PID,
+                stream,
+                fp,
+                0.5,
+            )?;
             let hopp = r.hopp.as_ref();
             let prefetched = r.baseline.prefetched + hopp.map_or(0, |h| h.prefetched);
             let hits = r.baseline.prefetch_hits + hopp.map_or(0, |h| h.prefetch_hits);
@@ -1296,7 +1342,7 @@ pub fn quality(scale: &Scale) -> Result<Vec<QualityRow>> {
                 * r.baseline.prefetch_hits
                 + hopp.map_or(0, |h| h.mean_timeliness.as_nanos() * h.prefetch_hits);
             rows.push(QualityRow {
-                workload: kind,
+                workload: source.name().to_string(),
                 system: name,
                 accesses: r.counters.accesses,
                 prefetched,
@@ -1331,7 +1377,7 @@ pub fn quality_json(scale: &Scale, rows: &[QualityRow]) -> String {
              \"prefetched\": {}, \"prefetch_hits\": {}, \"wasted\": {}, \
              \"coverage_pct\": {:.2}, \"accuracy_pct\": {:.2}, \"pollution_pct\": {:.2}, \
              \"mean_timeliness_ns\": {}}}{}\n",
-            r.workload.name(),
+            r.workload,
             r.system,
             r.accesses,
             r.prefetched,

@@ -221,12 +221,7 @@ fn throughput_cells(rows: &[ThroughputRow]) -> Vec<(String, String, String, f64)
             ("accesses_per_sec", r.accesses_per_sec),
             ("vs_noprefetch", r.vs_noprefetch),
         ] {
-            cells.push((
-                r.workload.name().to_string(),
-                r.system.to_string(),
-                m.to_string(),
-                v,
-            ));
+            cells.push((r.workload.clone(), r.system.to_string(), m.to_string(), v));
         }
     }
     cells
@@ -240,12 +235,7 @@ fn quality_cells(rows: &[QualityRow]) -> Vec<(String, String, String, f64)> {
             ("accuracy_pct", r.accuracy_pct),
             ("pollution_pct", r.pollution_pct),
         ] {
-            cells.push((
-                r.workload.name().to_string(),
-                r.system.to_string(),
-                m.to_string(),
-                v,
-            ));
+            cells.push((r.workload.clone(), r.system.to_string(), m.to_string(), v));
         }
     }
     cells
@@ -474,11 +464,10 @@ pub fn run_gate(root: &Path, quick: bool, update: bool) -> Result<GateOutcome, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopp_workloads::WorkloadKind;
 
-    fn row(workload: WorkloadKind, system: &'static str, aps: f64, ratio: f64) -> ThroughputRow {
+    fn row(workload: &str, system: &'static str, aps: f64, ratio: f64) -> ThroughputRow {
         ThroughputRow {
-            workload,
+            workload: workload.to_string(),
             system,
             accesses: 1_000,
             wall_secs: 1_000.0 / aps,
@@ -489,10 +478,10 @@ mod tests {
 
     fn base_rows() -> Vec<ThroughputRow> {
         vec![
-            row(WorkloadKind::Kmeans, "noprefetch", 100_000.0, 1.0),
-            row(WorkloadKind::Kmeans, "hopp", 80_000.0, 0.8),
-            row(WorkloadKind::Quicksort, "noprefetch", 100_000.0, 1.0),
-            row(WorkloadKind::Quicksort, "hopp", 90_000.0, 0.9),
+            row("Kmeans-OMP", "noprefetch", 100_000.0, 1.0),
+            row("Kmeans-OMP", "hopp", 80_000.0, 0.8),
+            row("Quicksort", "noprefetch", 100_000.0, 1.0),
+            row("Quicksort", "hopp", 90_000.0, 0.9),
         ]
     }
 
@@ -513,7 +502,7 @@ mod tests {
         }
         let qs = fresh
             .iter_mut()
-            .find(|r| r.workload == WorkloadKind::Quicksort && r.system == "hopp")
+            .find(|r| r.workload == "Quicksort" && r.system == "hopp")
             .unwrap();
         qs.accesses_per_sec *= 0.8;
         qs.vs_noprefetch *= 0.8;
@@ -545,7 +534,7 @@ mod tests {
         let mut fresh = base_rows();
         fresh
             .iter_mut()
-            .find(|r| r.workload == WorkloadKind::Kmeans && r.system == "hopp")
+            .find(|r| r.workload == "Kmeans-OMP" && r.system == "hopp")
             .unwrap()
             .accesses_per_sec *= 0.8;
         let (findings, checked) = diff_throughput(&base, &fresh);
@@ -554,15 +543,9 @@ mod tests {
         assert_eq!(findings[0].row, "Kmeans-OMP/hopp");
     }
 
-    fn qrow(
-        workload: WorkloadKind,
-        system: &'static str,
-        cov: f64,
-        acc: f64,
-        pol: f64,
-    ) -> QualityRow {
+    fn qrow(workload: &str, system: &'static str, cov: f64, acc: f64, pol: f64) -> QualityRow {
         QualityRow {
-            workload,
+            workload: workload.to_string(),
             system,
             accesses: 1_000,
             prefetched: 100,
@@ -577,15 +560,15 @@ mod tests {
 
     #[test]
     fn quality_gate_fires_on_coverage_drop_and_pollution_rise_only() {
-        let base_rows = vec![qrow(WorkloadKind::Kmeans, "hopp", 60.0, 90.0, 10.0)];
+        let base_rows = vec![qrow("Kmeans-OMP", "hopp", 60.0, 90.0, 10.0)];
         let doc = crate::experiments::quality_json(&Scale::quick(), &base_rows);
         let base =
             parse_baseline(&doc, &["coverage_pct", "accuracy_pct", "pollution_pct"]).unwrap();
         // Within limits: +1.9pt pollution, -1.9pt coverage.
-        let ok = vec![qrow(WorkloadKind::Kmeans, "hopp", 58.1, 90.0, 11.9)];
+        let ok = vec![qrow("Kmeans-OMP", "hopp", 58.1, 90.0, 11.9)];
         assert!(diff_quality(&base, &ok).0.is_empty());
         // Coverage down 2.5pt and pollution up 2.5pt: two findings.
-        let bad = vec![qrow(WorkloadKind::Kmeans, "hopp", 57.5, 90.0, 12.5)];
+        let bad = vec![qrow("Kmeans-OMP", "hopp", 57.5, 90.0, 12.5)];
         let (findings, checked) = diff_quality(&base, &bad);
         assert_eq!(checked, 3);
         let metrics: Vec<&str> = findings.iter().map(|f| f.metric.as_str()).collect();

@@ -33,7 +33,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use hopp_obs::{Event, TimedEvent};
-use hopp_sim::{SimConfig, SystemConfig};
+use hopp_scn::WorkloadSource;
+use hopp_sim::runner::SOLO_PID;
+use hopp_sim::{BaselineKind, SimConfig, SystemConfig};
 use hopp_types::{Nanos, Result};
 use hopp_workloads::WorkloadKind;
 
@@ -81,8 +83,9 @@ where
 /// seeds at one footprint and local-memory ratio.
 #[derive(Clone, Debug)]
 pub struct SweepSpec {
-    /// Workloads on the grid's first axis.
-    pub workloads: Vec<WorkloadKind>,
+    /// Workload sources on the grid's first axis: catalogue workloads
+    /// and DSL scenarios mix freely.
+    pub workloads: Vec<WorkloadSource>,
     /// Systems on the second axis, with the label used in output rows.
     pub systems: Vec<(String, SystemConfig)>,
     /// Seeds on the third axis; multi-seed cells aggregate mean/min/max.
@@ -105,7 +108,10 @@ impl SweepSpec {
     /// CI job, large enough to exercise multi-seed aggregation.
     pub fn quick() -> Self {
         SweepSpec {
-            workloads: vec![WorkloadKind::Kmeans, WorkloadKind::Quicksort],
+            workloads: vec![
+                WorkloadSource::Catalogue(WorkloadKind::Kmeans),
+                WorkloadSource::Catalogue(WorkloadKind::Quicksort),
+            ],
             systems: vec![
                 (
                     "fastswap".to_string(),
@@ -126,7 +132,7 @@ impl SweepSpec {
 /// One cell of the grid, fully identifying one simulator run.
 #[derive(Clone, Debug)]
 struct Cell {
-    workload: WorkloadKind,
+    workload: WorkloadSource,
     system_label: String,
     system: SystemConfig,
     seed: u64,
@@ -247,16 +253,12 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome> {
 fn grid(spec: &SweepSpec) -> Vec<Cell> {
     let mut cells =
         Vec::with_capacity(spec.workloads.len() * spec.systems.len() * spec.seeds.len());
-    for &workload in &spec.workloads {
-        let footprint = if workload.is_jvm() {
-            spec.spark_footprint
-        } else {
-            spec.footprint
-        };
+    for workload in &spec.workloads {
+        let footprint = workload.footprint(spec.footprint, spec.spark_footprint);
         for (label, system) in &spec.systems {
             for &seed in &spec.seeds {
                 cells.push(Cell {
-                    workload,
+                    workload: workload.clone(),
                     system_label: label.clone(),
                     system: *system,
                     seed,
@@ -301,10 +303,20 @@ fn run_cell_cached(cell: &Cell, cache_dir: Option<&Path>) -> (CellOutcome, bool)
 /// The isolated simulator run behind one cell: the all-local reference
 /// plus the system under test, both keyed by the cell's seed.
 fn run_cell(cell: &Cell) -> Result<CellMetrics> {
-    let local = hopp_sim::run_local(cell.workload, cell.footprint, cell.seed)?;
-    let config = SimConfig::with_system(cell.system);
-    let report =
-        hopp_sim::run_workload_with(config, cell.workload, cell.footprint, cell.seed, cell.ratio)?;
+    let local = hopp_sim::run_stream_with(
+        SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch)),
+        SOLO_PID,
+        cell.workload.build(SOLO_PID, cell.footprint, cell.seed),
+        cell.footprint,
+        1.25,
+    )?;
+    let report = hopp_sim::run_stream_with(
+        SimConfig::with_system(cell.system),
+        SOLO_PID,
+        cell.workload.build(SOLO_PID, cell.footprint, cell.seed),
+        cell.footprint,
+        cell.ratio,
+    )?;
     Ok(CellMetrics {
         completion_ns: report.completion.as_nanos(),
         local_ns: local.completion.as_nanos(),
@@ -319,12 +331,15 @@ fn run_cell(cell: &Cell) -> Result<CellMetrics> {
 /// The canonical cache key of a cell: a schema version, the cell's
 /// grid coordinates, and the full [`SimConfig::fingerprint`] of the
 /// run it performs. Any knob change anywhere in the config tree
-/// changes this string and therefore the cell's cache slot.
+/// changes this string and therefore the cell's cache slot. The
+/// workload component is [`WorkloadSource::cache_tag`], which embeds a
+/// scenario's file-content hash — *editing* a scenario TOML invalidates
+/// its cached cells even when the path and name stay the same.
 fn cell_fingerprint(cell: &Cell) -> String {
     let config = SimConfig::with_system(cell.system);
     format!(
         "hopp-lab-cell/v1|workload={}|system={}|seed={}|footprint={}|ratio={:?}|{}",
-        cell.workload.name(),
+        cell.workload.cache_tag(),
         cell.system_label,
         cell.seed,
         cell.footprint,
@@ -619,7 +634,7 @@ mod tests {
 
     fn tiny_spec(threads: usize, cache_dir: Option<PathBuf>) -> SweepSpec {
         SweepSpec {
-            workloads: vec![WorkloadKind::Kmeans],
+            workloads: vec![WorkloadSource::Catalogue(WorkloadKind::Kmeans)],
             systems: vec![
                 (
                     "fastswap".to_string(),

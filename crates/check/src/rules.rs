@@ -10,7 +10,7 @@ use crate::{FileContext, Finding, Rule};
 /// file IO, `obs` exporters, `workloads` generators, `bench`, the
 /// checker itself) are exempt from those two rules but not from unit
 /// hygiene.
-pub const SIM_CRITICAL_CRATES: [&str; 9] = [
+pub const SIM_CRITICAL_CRATES: [&str; 10] = [
     "hw",
     "kernel",
     "mem",
@@ -20,6 +20,7 @@ pub const SIM_CRITICAL_CRATES: [&str; 9] = [
     "sim",
     "baselines",
     "ds",
+    "scenario",
 ];
 
 /// ID newtypes whose raw values must not be `as`-cast outside

@@ -193,6 +193,29 @@ fn thread_policy_spares_only_the_lab_pool() {
 }
 
 #[test]
+fn scenario_engine_is_sim_critical() {
+    let report = check("scncritical");
+    // `crates/scenario` parses user-written TOML and binary traces in
+    // the simulated clock domain, so it sits on the sim-critical list:
+    // its `.unwrap()` fires the panic policy, while the byte-identical
+    // twin in the `obs` harness crate stays exempt.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::PanicPolicy, "crates/scenario/src/lib.rs", 5)],
+        "scenario unwrap fires once, harness twin spared\n{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("typed error"),
+        "steers toward typed errors: {}",
+        report.findings[0].message
+    );
+    assert_eq!(report.files_checked, 4);
+    assert_eq!(report.waiver_budget(), 0);
+}
+
+#[test]
 fn prof_spans_pass_where_raw_host_clock_reads_fire() {
     let report = check("profclock");
     // The `hopp_prof::span("kernel/reclaim")` guard on line 5 is the

@@ -1,0 +1,5 @@
+//! Fixture exporter: harness crate, exempt from the panic policy.
+
+fn parse_footprint(doc: &str) -> u64 {
+    doc.trim().parse().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture scenario engine: sim-critical, so bad input must travel as
+//! a typed error, never a panic.
+
+fn parse_footprint(doc: &str) -> u64 {
+    doc.trim().parse().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture SimConfig, fully documented.
+
+/// Machine configuration.
+pub struct SimConfig {
+    /// Documented knob.
+    pub llc: usize,
+}

@@ -6,16 +6,23 @@
 //! hoppsim --workload npb-mg --system depth-32 --footprint 8192
 //! hoppsim --workload microbench --system hopp --intensity 2 --channels 4
 //! hoppsim --workload kmeans --system hopp --trace-out t.json --metrics-json m.json
+//! hoppsim --scenario scenarios/drifting-mix.toml --system hopp
+//! hoppsim --workload kmeans --record-trace k.hst --metrics-json a.json
+//! hoppsim --replay-trace k.hst --metrics-json b.json   # a.json == b.json
 //! hoppsim --list
 //! ```
+
+use std::path::Path;
 
 use hopp_core::policy::{HugeBatchConfig, PolicyConfig};
 use hopp_core::{HoppConfig, MarkovConfig, TrainerKind};
 use hopp_obs::{events_to_chrome_trace_with_extra, ObsLevel};
+use hopp_scn::{hst, HstHeader, Scenario};
 use hopp_sim::{
-    run_local, run_workload_with, run_workload_with_faults, BaselineKind, FabricConfig,
+    run_stream_with, run_workload_with, run_workload_with_faults, BaselineKind, FabricConfig,
     FaultScript, PlacementKind, SimConfig, SimReport, SystemConfig,
 };
+use hopp_trace::AccessStream;
 use hopp_workloads::WorkloadKind;
 
 /// Count heap allocations per thread so `--prof-json` spans can report
@@ -44,6 +51,9 @@ struct Args {
     fixed_offset: Option<f64>,
     record: Option<String>,
     replay: Option<String>,
+    scenario: Option<String>,
+    record_trace: Option<String>,
+    replay_trace: Option<String>,
     volatile: bool,
     mem_nodes: usize,
     placement: PlacementKind,
@@ -83,6 +93,9 @@ impl Default for Args {
             fixed_offset: None,
             record: None,
             replay: None,
+            scenario: None,
+            record_trace: None,
+            replay_trace: None,
             volatile: false,
             mem_nodes: 1,
             placement: PlacementKind::default(),
@@ -147,6 +160,9 @@ fn usage() -> ! {
          \n  --markov             use the Markov trainer (hopp only)\
          \n  --record <file>      dump the workload's page trace and exit\
          \n  --replay <file>      run the simulation from a recorded trace\
+         \n  --scenario <file>    run a scenario DSL file instead of --workload (docs/scenarios.md)\
+         \n  --record-trace <file> capture the run's accesses as a .hst trace, then run normally\
+         \n  --replay-trace <file> replay a .hst trace bit-identically (ignores --workload)\
          \n  --volatile           periodic 8x network congestion bursts\
          \n  --jitter <mode>      bursty | off (same as --volatile, default off)\
          \n  --mem-nodes <n>      memory nodes in the remote pool (default 1)\
@@ -227,6 +243,9 @@ fn parse_args() -> Args {
             "--markov" => args.markov = true,
             "--record" => args.record = Some(value("--record")),
             "--replay" => args.replay = Some(value("--replay")),
+            "--scenario" => args.scenario = Some(value("--scenario")),
+            "--record-trace" => args.record_trace = Some(value("--record-trace")),
+            "--replay-trace" => args.replay_trace = Some(value("--replay-trace")),
             "--volatile" => args.volatile = true,
             "--jitter" => {
                 let v = value("--jitter");
@@ -356,17 +375,9 @@ fn fail_run(e: hopp_types::Error) -> SimReport {
     std::process::exit(1);
 }
 
-fn print_report(args: &Args, local_ns: f64, r: &SimReport) {
+fn print_report(args: &Args, label: &str, local_ns: f64, r: &SimReport) {
     let normalized = local_ns / r.completion.as_nanos() as f64;
-    match &args.replay {
-        Some(path) => println!("workload          replay of {path}"),
-        None => println!(
-            "workload          {} ({} pages, seed {})",
-            args.workload.name(),
-            args.footprint,
-            args.seed
-        ),
-    }
+    println!("workload          {label}");
     println!(
         "system            {} ({:.0}% local)",
         r.system,
@@ -529,13 +540,34 @@ fn write_outputs(args: &Args, r: &SimReport, prof: Option<&hopp_prof::ProfReport
     }
 }
 
+use hopp_sim::runner::SOLO_PID;
+
+/// Builds a fresh copy of the run's access stream (catalogue workload
+/// or `--scenario`); streams are deterministic, so every instance
+/// yields the same sequence.
+fn build_stream(args: &Args, scenario: Option<&Scenario>, footprint: u64) -> Box<dyn AccessStream> {
+    match scenario {
+        Some(s) => s.spec.build(&s.name, SOLO_PID, footprint, args.seed),
+        None => args.workload.build(SOLO_PID, args.footprint, args.seed),
+    }
+}
+
 fn main() {
     let args = parse_args();
 
+    let scenario = args.scenario.as_ref().map(|p| {
+        Scenario::from_file(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    let source_footprint = scenario
+        .as_ref()
+        .and_then(|s| s.spec.footprint)
+        .unwrap_or(args.footprint);
+
     if let Some(path) = &args.record {
-        let mut stream = args
-            .workload
-            .build(hopp_types::Pid::new(1), args.footprint, args.seed);
+        let mut stream = build_stream(&args, scenario.as_ref(), source_footprint);
         let count = hopp_trace::pagefile::save_stream(path, &mut stream).unwrap_or_else(|e| {
             eprintln!("record failed: {e}");
             std::process::exit(1);
@@ -653,16 +685,111 @@ fn main() {
         })
         .run()
         .unwrap_or_else(fail_run);
-        print_report(&args, local.completion.as_nanos() as f64, &report);
+        let label = format!("replay of {path}");
+        print_report(&args, &label, local.completion.as_nanos() as f64, &report);
         write_outputs(&args, &report, prof.as_ref());
         return;
     }
 
-    let local = run_local(args.workload, args.footprint, args.seed).unwrap_or_else(fail_run);
+    // --replay-trace: run a recorded .hst bit-identically. The header
+    // carries the recorded pid/footprint, so the cgroup-limit math and
+    // the all-local normalization run match the recording session and
+    // the metrics JSON comes out byte-for-byte equal.
+    if let Some(path) = &args.replay_trace {
+        let load = || {
+            hst::read_file(Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("replay-trace failed: {e}");
+                std::process::exit(1);
+            })
+        };
+        let trace = load();
+        let header = trace.header.clone();
+        println!(
+            "replaying {} accesses ({} recorded from {} at {} pages, seed {})\n",
+            trace.accesses.len(),
+            path,
+            header.source,
+            header.footprint_pages,
+            header.seed
+        );
+        prof_begin(&args, "replay-trace");
+        let report = run_stream_with(
+            config,
+            header.pid,
+            Box::new(trace.into_stream()),
+            header.footprint_pages,
+            args.ratio,
+        )
+        .unwrap_or_else(fail_run);
+        let prof = hopp_prof::disable();
+        let local = run_stream_with(
+            SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch)),
+            header.pid,
+            Box::new(load().into_stream()),
+            header.footprint_pages,
+            1.25,
+        )
+        .unwrap_or_else(fail_run);
+        let label = format!(
+            "replay of {path} ({}, {} pages, seed {})",
+            header.source, header.footprint_pages, header.seed
+        );
+        print_report(&args, &label, local.completion.as_nanos() as f64, &report);
+        write_outputs(&args, &report, prof.as_ref());
+        return;
+    }
+
+    let (label, source_name, footprint) = match &scenario {
+        Some(s) => (
+            format!(
+                "{} (scenario, {} pages, seed {})",
+                s.name, source_footprint, args.seed
+            ),
+            s.name.clone(),
+            source_footprint,
+        ),
+        None => (
+            format!(
+                "{} ({} pages, seed {})",
+                args.workload.name(),
+                args.footprint,
+                args.seed
+            ),
+            args.workload.name().to_string(),
+            args.footprint,
+        ),
+    };
+
+    // --record-trace: capture a fresh copy of the access stream to disk,
+    // then fall through to the normal run. Streams are deterministic, so
+    // draining a second instance records exactly what the run consumes.
+    if let Some(path) = &args.record_trace {
+        let header = HstHeader {
+            pid: SOLO_PID,
+            footprint_pages: footprint,
+            seed: args.seed,
+            source: source_name.clone(),
+        };
+        let mut stream = build_stream(&args, scenario.as_ref(), footprint);
+        let n = hst::record_file(Path::new(path), &header, &mut *stream).unwrap_or_else(|e| {
+            eprintln!("record-trace failed: {e}");
+            std::process::exit(1);
+        });
+        println!("recorded {n} accesses to {path} (.hst)\n");
+    }
+
+    let local = run_stream_with(
+        SimConfig::with_system(SystemConfig::Baseline(BaselineKind::NoPrefetch)),
+        SOLO_PID,
+        build_stream(&args, scenario.as_ref(), footprint),
+        footprint,
+        1.25,
+    )
+    .unwrap_or_else(fail_run);
     // Profile only the measured run, not the all-local normalization run.
-    prof_begin(&args, args.workload.name());
-    let report = match &args.fault_script {
-        Some(script) => run_workload_with_faults(
+    prof_begin(&args, &source_name);
+    let report = match (&scenario, &args.fault_script) {
+        (None, Some(script)) => run_workload_with_faults(
             config,
             args.workload,
             args.footprint,
@@ -670,11 +797,26 @@ fn main() {
             args.ratio,
             script,
         ),
-        None => run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio),
+        (None, None) => {
+            run_workload_with(config, args.workload, args.footprint, args.seed, args.ratio)
+        }
+        (Some(_), script) => {
+            if script.is_some() {
+                eprintln!("--fault-script is not supported with --scenario");
+                std::process::exit(2);
+            }
+            run_stream_with(
+                config,
+                SOLO_PID,
+                build_stream(&args, scenario.as_ref(), footprint),
+                footprint,
+                args.ratio,
+            )
+        }
     }
     .unwrap_or_else(fail_run);
     let prof = hopp_prof::disable();
-    print_report(&args, local.completion.as_nanos() as f64, &report);
+    print_report(&args, &label, local.completion.as_nanos() as f64, &report);
     write_outputs(&args, &report, prof.as_ref());
 }
 

@@ -5,6 +5,7 @@
 //! local memory; *speedup* (§VI-D) is `1 − CT_system / CT_Fastswap`.
 
 use hopp_fabric::FaultScript;
+use hopp_trace::AccessStream;
 use hopp_types::{Pid, Result};
 use hopp_workloads::WorkloadKind;
 
@@ -59,11 +60,40 @@ pub fn run_workload_with(
     seed: u64,
     mem_ratio: f64,
 ) -> Result<SimReport> {
+    run_stream_with(
+        config,
+        SOLO_PID,
+        kind.build(SOLO_PID, footprint_pages, seed),
+        footprint_pages,
+        mem_ratio,
+    )
+}
+
+/// Runs an arbitrary pre-built access stream — a replayed `.hst` trace,
+/// a compiled scenario, or anything else implementing [`AccessStream`]
+/// — under the same measurement protocol as [`run_workload_with`]:
+/// `pid` must match the PID the stream emits, and the local-memory
+/// limit is `ceil(footprint_pages * mem_ratio)` clamped to ≥ 64 pages.
+///
+/// # Errors
+///
+/// Returns configuration validation errors and fatal run errors.
+///
+/// # Panics
+///
+/// Panics if `mem_ratio` is not positive (experiment-code bug).
+pub fn run_stream_with(
+    config: SimConfig,
+    pid: Pid,
+    stream: Box<dyn AccessStream>,
+    footprint_pages: u64,
+    mem_ratio: f64,
+) -> Result<SimReport> {
     assert!(mem_ratio > 0.0, "memory ratio must be positive");
     let limit = ((footprint_pages as f64 * mem_ratio).ceil() as usize).max(64);
     let app = AppSpec {
-        pid: SOLO_PID,
-        stream: kind.build(SOLO_PID, footprint_pages, seed),
+        pid,
+        stream,
         limit_pages: limit,
     };
     Simulator::new(config, vec![app])?.run()

@@ -22,6 +22,7 @@
 //! | [`core`] | `hopp-core` | STT, SSP/LSP/RSP, policy + execution engines |
 //! | [`baselines`] | `hopp-baselines` | Fastswap, Leap, VMA, Depth-N |
 //! | [`workloads`] | `hopp-workloads` | the paper's 15 application models |
+//! | [`scn`] | `hopp-scn` | `.hst` trace record/replay, scenario DSL |
 //! | [`obs`] | `hopp-obs` | event tracing, histograms, trace export |
 //! | [`prof`] | `hopp-prof` | host-side span profiler (time + allocation attribution) |
 //! | [`sim`] | `hopp-sim` | the integrated simulator and runners |
@@ -58,6 +59,7 @@ pub use hopp_mem as mem;
 pub use hopp_net as net;
 pub use hopp_obs as obs;
 pub use hopp_prof as prof;
+pub use hopp_scn as scn;
 pub use hopp_sim as sim;
 pub use hopp_trace as trace;
 pub use hopp_types as types;
