@@ -1,0 +1,290 @@
+//! A minimal JSON parser for the baseline loader and SARIF self-tests.
+//!
+//! The checker is dependency-free by design (the build container is
+//! offline), so it cannot use `serde`. This is a strict recursive
+//! descent parser over the subset the checker emits and consumes:
+//! objects, arrays, strings (with `\"`/`\\`/`\n`-style escapes and
+//! `\uXXXX`), integers, booleans and `null`. Duplicate keys keep the
+//! last value; key order is preserved nowhere (objects are `BTreeMap`,
+//! matching the checker's everything-is-sorted discipline).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as f64; the checker only writes integers).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value under `key`, when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, when this is a whole number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The entries, when this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the full input.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut at = 0;
+    let v = value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing data at byte {at}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn value(b: &[u8], at: &mut usize) -> Result<Value, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        Some(b'{') => obj(b, at),
+        Some(b'[') => arr(b, at),
+        Some(b'"') => Ok(Value::Str(string(b, at)?)),
+        Some(b't') => lit(b, at, "true", Value::Bool(true)),
+        Some(b'f') => lit(b, at, "false", Value::Bool(false)),
+        Some(b'n') => lit(b, at, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => num(b, at),
+        _ => Err(format!("expected a value at byte {at}", at = *at)),
+    }
+}
+
+fn lit(b: &[u8], at: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*at..].starts_with(word.as_bytes()) {
+        *at += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {at}", at = *at))
+    }
+}
+
+fn num(b: &[u8], at: &mut usize) -> Result<Value, String> {
+    let start = *at;
+    if b.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while *at < b.len()
+        && (b[*at].is_ascii_digit() || matches!(b[*at], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*at), Some(&b'"'));
+    *at += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*at) {
+        match c {
+            b'"' => {
+                *at += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {at}", at = *at))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {at}", at = *at)),
+                }
+                *at += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&b[*at..])
+                    .map_err(|_| format!("bad UTF-8 at byte {at}", at = *at))?;
+                let ch = s.chars().next().ok_or("empty")?;
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn obj(b: &[u8], at: &mut usize) -> Result<Value, String> {
+    *at += 1; // '{'
+    let mut m = BTreeMap::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Value::Obj(m));
+    }
+    loop {
+        skip_ws(b, at);
+        if b.get(*at) != Some(&b'"') {
+            return Err(format!("expected object key at byte {at}", at = *at));
+        }
+        let k = string(b, at)?;
+        skip_ws(b, at);
+        if b.get(*at) != Some(&b':') {
+            return Err(format!("expected ':' at byte {at}", at = *at));
+        }
+        *at += 1;
+        let v = value(b, at)?;
+        m.insert(k, v);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Value::Obj(m));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {at}", at = *at)),
+        }
+    }
+}
+
+fn arr(b: &[u8], at: &mut usize) -> Result<Value, String> {
+    *at += 1; // '['
+    let mut v = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Value::Arr(v));
+    }
+    loop {
+        v.push(value(b, at)?);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Value::Arr(v));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {at}", at = *at)),
+        }
+    }
+}
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_checker_subset() {
+        let src = r#"{"version": 1, "ok": true, "none": null,
+                      "findings": [{"rule": "determinism", "line": 42}],
+                      "msg": "a \"quoted\" piece\nwith a newline é"}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("version").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        let f = &v.get("findings").unwrap().as_arr().unwrap()[0];
+        assert_eq!(f.get("rule").unwrap().as_str(), Some("determinism"));
+        assert_eq!(f.get("line").unwrap().as_usize(), Some(42));
+        assert_eq!(
+            v.get("msg").unwrap().as_str(),
+            Some("a \"quoted\" piece\nwith a newline é")
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn escape_survives_a_parse_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+}

@@ -16,65 +16,151 @@
 //!   host work even in sim-critical crates, because the guard never
 //!   returns the measured value (raw reads like `Instant::now()` or
 //!   `hopp_prof::host_now_ns()` stay banned);
+//! * [`Rule::DeterminismTaint`] — scope-aware taint tracking: a value
+//!   *derived* from a banned host source (through let-bindings,
+//!   reassignments and same-file function returns) must not flow into
+//!   a sim-state field assignment or out of a function. The identifier
+//!   ban above sees `Instant::now()`; this sees `state.ns = t.elapsed()`
+//!   two statements later;
+//! * [`Rule::OrderingSensitivity`] — iterating an unordered
+//!   `HashMap`/`HashSet` must not mutate state or emit output that
+//!   outlives the loop, *workspace-wide*: harness crates escape the
+//!   blanket `HashMap` ban, but artifact bytes must not depend on hash
+//!   order. `hopp_ds` types and `BTreeMap` iterate deterministically
+//!   and are never flagged;
 //! * [`Rule::PanicPolicy`] — no `unwrap`/`expect`/`panic!` in non-test
 //!   hot-path code; failures travel as [`hopp_types::Error`]-style typed
 //!   errors instead;
 //! * [`Rule::UnitHygiene`] — no raw `as` casts into or out of the ID
 //!   newtypes (`Vpn`, `Ppn`, …) outside `crates/types`; use the explicit
 //!   conversion methods;
+//! * [`Rule::UnsafeAudit`] — every `unsafe` carries an adjacent
+//!   `// SAFETY:` comment (same line or up to three lines above);
 //! * [`Rule::ConfigDrift`] — every `SimConfig` field is documented in
-//!   `docs/config.md` and reachable from a `hoppsim` CLI flag, and
-//!   every CLI flag with a match arm is listed in `usage()`.
+//!   `docs/config.md` and reachable from a `hoppsim` CLI flag, every
+//!   CLI flag with a match arm is listed in `usage()`, and every
+//!   workspace crate is classified sim-critical or harness in
+//!   [`rules`](SIM_CRITICAL_CRATES)' lists (a new crate cannot silently
+//!   skip analysis).
 //!
 //! Individual findings can be waived in place with
 //! `// hopp-check: allow(<rule>): <reason>`; each waiver suppresses
 //! exactly one finding (the first on its target line) and must carry a
 //! reason. Unused waivers are themselves findings, so the waiver budget
-//! only ever shrinks. Run via `cargo xtask check`.
+//! only ever shrinks. Run via `cargo xtask check`; `--sarif <path>`
+//! exports SARIF 2.1.0 ([`sarif`]), `--waivers` prints the per-rule
+//! waiver/budget table, and the committed `check-baseline.json`
+//! ([`baseline`]) ratchets the finding count monotonically downward.
 //!
 //! The checker is dependency-free by design (the build environment is
 //! offline): instead of `syn` it uses a small comment/string/test-aware
-//! lexer ([`lexer`]), which is exact for the token-level invariants
-//! enforced here.
+//! lexer plus a brace/scope-tracking token pass ([`lexer`]), which is
+//! exact for the token-level invariants enforced here and a sound
+//! best-effort for the dataflow analyses.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+mod dataflow;
+pub mod json;
 pub mod lexer;
 mod rules;
+pub mod sarif;
 
-pub use rules::SIM_CRITICAL_CRATES;
+pub use rules::{HARNESS_CRATES, SIM_CRITICAL_CRATES};
 
 /// The rules `hopp-check` enforces.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Rule {
     /// Wall-clock, randomness, threads, unordered hashing in sim code.
     Determinism,
+    /// Host state laundered through bindings into sim state/returns.
+    DeterminismTaint,
+    /// Hash-order iteration driving state mutation or output.
+    OrderingSensitivity,
     /// `unwrap()`/`expect()`/`panic!` in non-test hot-path code.
     PanicPolicy,
     /// Raw `as` casts into/out of ID newtypes outside `crates/types`.
     UnitHygiene,
-    /// `SimConfig` fields without a CLI flag or documentation row.
+    /// `unsafe` without an adjacent `// SAFETY:` justification.
+    UnsafeAudit,
+    /// `SimConfig` fields without a CLI flag or documentation row,
+    /// and workspace crates missing a sim-critical/harness class.
     ConfigDrift,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Determinism,
+        Rule::DeterminismTaint,
+        Rule::OrderingSensitivity,
         Rule::PanicPolicy,
         Rule::UnitHygiene,
+        Rule::UnsafeAudit,
         Rule::ConfigDrift,
     ];
 
-    /// The rule's waiver name (`allow(<name>)`).
+    /// The rule's waiver name (`allow(<name>)`), also the SARIF ruleId.
     pub fn name(self) -> &'static str {
         match self {
             Rule::Determinism => "determinism",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::OrderingSensitivity => "ordering-sensitivity",
             Rule::PanicPolicy => "panic-policy",
             Rule::UnitHygiene => "unit-hygiene",
+            Rule::UnsafeAudit => "unsafe-audit",
             Rule::ConfigDrift => "config-drift",
+        }
+    }
+
+    /// Stable short rule ID (`HC01`…), never reused or renumbered —
+    /// baselines and SARIF dashboards key on it.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "HC01",
+            Rule::DeterminismTaint => "HC02",
+            Rule::OrderingSensitivity => "HC03",
+            Rule::PanicPolicy => "HC04",
+            Rule::UnitHygiene => "HC05",
+            Rule::UnsafeAudit => "HC06",
+            Rule::ConfigDrift => "HC07",
+        }
+    }
+
+    /// One-line description (SARIF rule metadata).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::Determinism => {
+                "No wall-clock time, OS randomness, threads or default-hasher collections \
+                 in sim-critical crates; no ad-hoc threads anywhere outside the hopp-lab pool."
+            }
+            Rule::DeterminismTaint => {
+                "Values derived from host time/randomness must not flow through bindings \
+                 into sim state fields or function returns (scope-aware taint tracking)."
+            }
+            Rule::OrderingSensitivity => {
+                "Iterating an unordered HashMap/HashSet must not mutate state or emit \
+                 output that outlives the loop; hash order varies per process."
+            }
+            Rule::PanicPolicy => {
+                "No unwrap/expect/panic!/unreachable!/todo! in non-test sim-critical code; \
+                 failures travel as typed errors."
+            }
+            Rule::UnitHygiene => {
+                "No raw `as` casts into or out of the ID newtypes outside crates/types; \
+                 use the explicit conversion methods."
+            }
+            Rule::UnsafeAudit => {
+                "Every `unsafe` carries an adjacent `// SAFETY:` comment stating the \
+                 invariant that makes it sound."
+            }
+            Rule::ConfigDrift => {
+                "SimConfig fields, docs/config.md rows, hoppsim flags and the sim-critical \
+                 crate classification must not drift apart."
+            }
         }
     }
 
@@ -112,6 +198,22 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One waiver comment, as seen by the checker (for the `--waivers`
+/// table and stale-waiver reporting).
+#[derive(Clone, Debug)]
+pub struct WaiverRecord {
+    /// Workspace-relative file the waiver sits in.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The waived rule.
+    pub rule: Rule,
+    /// The reason text after `allow(<rule>):` (may be empty).
+    pub reason: String,
+    /// True when the waiver suppressed a finding this run.
+    pub used: bool,
+}
+
 /// Outcome of a whole-workspace check.
 #[derive(Clone, Debug, Default)]
 pub struct CheckReport {
@@ -119,6 +221,8 @@ pub struct CheckReport {
     pub findings: Vec<Finding>,
     /// Waivers that suppressed a finding, per rule.
     pub waived: BTreeMap<&'static str, usize>,
+    /// Every waiver comment seen, in file order (used and stale).
+    pub waivers: Vec<WaiverRecord>,
     /// Source files analysed.
     pub files_checked: usize,
 }
@@ -153,9 +257,44 @@ impl CheckReport {
             let found = self.findings.iter().filter(|f| f.rule == rule).count();
             let _ = writeln!(
                 o,
-                "  {:<14} {found} finding(s), {waived} waived",
+                "  {:<20} {found} finding(s), {waived} waived",
                 rule.name()
             );
+        }
+        o
+    }
+
+    /// Renders the per-rule waiver/budget table (`--waivers`): every
+    /// waiver comment in the workspace with its location, reason and
+    /// whether it suppressed a finding this run.
+    pub fn render_waivers(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::new();
+        let _ = writeln!(
+            o,
+            "hopp-check waivers: {} comment(s), {} spent",
+            self.waivers.len(),
+            self.waiver_budget()
+        );
+        for rule in Rule::ALL {
+            let of_rule: Vec<&WaiverRecord> =
+                self.waivers.iter().filter(|w| w.rule == rule).collect();
+            let spent = self.waived.get(rule.name()).copied().unwrap_or(0);
+            let _ = writeln!(
+                o,
+                "  {:<20} {} waiver(s), {spent} spent",
+                rule.name(),
+                of_rule.len()
+            );
+            for w in of_rule {
+                let status = if w.used { "used " } else { "STALE" };
+                let reason = if w.reason.is_empty() {
+                    "<no reason>"
+                } else {
+                    &w.reason
+                };
+                let _ = writeln!(o, "    {status} {}:{}  {reason}", w.file, w.line);
+            }
         }
         o
     }
@@ -171,7 +310,14 @@ struct Waiver {
     /// Line the waiver text sits on (for unused-waiver findings).
     at_line: usize,
     used: bool,
-    has_reason: bool,
+    /// The reason text after `allow(<rule>):` (empty = reason-less).
+    reason: String,
+}
+
+impl Waiver {
+    fn has_reason(&self) -> bool {
+        !self.reason.is_empty()
+    }
 }
 
 /// What the scanner knows about one file.
@@ -206,10 +352,11 @@ pub fn run(root: &Path) -> Result<CheckReport, String> {
         };
         collect_waivers(&mut ctx);
         rules::check_file(&mut ctx, &mut findings);
-        settle_waivers(&ctx, &mut findings, &mut report.waived);
+        settle_waivers(&ctx, &mut findings, &mut report);
         report.files_checked += 1;
     }
     rules::check_config_drift(root, &mut findings);
+    rules::check_crate_classification(root, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report.findings = findings;
     Ok(report)
@@ -289,7 +436,7 @@ fn collect_waivers(ctx: &mut FileContext<'_>) {
             target_line,
             at_line: idx + 1,
             used: false,
-            has_reason: !after.is_empty(),
+            reason: after.to_string(),
         });
     }
 }
@@ -297,18 +444,15 @@ fn collect_waivers(ctx: &mut FileContext<'_>) {
 /// Applies waivers to findings in `ctx`'s file: each waiver suppresses
 /// the first matching finding on its target line. Unused or reason-less
 /// waivers become findings themselves.
-fn settle_waivers(
-    ctx: &FileContext<'_>,
-    findings: &mut Vec<Finding>,
-    waived: &mut BTreeMap<&'static str, usize>,
-) {
+fn settle_waivers(ctx: &FileContext<'_>, findings: &mut Vec<Finding>, report: &mut CheckReport) {
+    let waived = &mut report.waived;
     let mut waivers: Vec<Waiver> = ctx.waivers.clone();
     findings.retain(|f| {
         if f.file != ctx.rel {
             return true;
         }
         for w in waivers.iter_mut() {
-            if !w.used && w.has_reason && w.rule == f.rule && w.target_line == f.line {
+            if !w.used && w.has_reason() && w.rule == f.rule && w.target_line == f.line {
                 w.used = true;
                 *waived.entry(f.rule.name()).or_insert(0) += 1;
                 return false;
@@ -317,7 +461,7 @@ fn settle_waivers(
         true
     });
     for w in &waivers {
-        if !w.has_reason {
+        if !w.has_reason() {
             findings.push(Finding {
                 rule: w.rule,
                 file: ctx.rel.clone(),
@@ -338,5 +482,12 @@ fn settle_waivers(
                 ),
             });
         }
+        report.waivers.push(WaiverRecord {
+            file: ctx.rel.clone(),
+            line: w.at_line,
+            rule: w.rule,
+            reason: w.reason.clone(),
+            used: w.used,
+        });
     }
 }

@@ -23,6 +23,26 @@ pub const SIM_CRITICAL_CRATES: [&str; 10] = [
     "scenario",
 ];
 
+/// Crates that are host-side tooling by design: measurement harnesses,
+/// exporters, generators and the checker itself. Exempt from the
+/// sim-critical determinism/panic rules (but not from unit hygiene,
+/// ordering-sensitivity or the unsafe audit).
+///
+/// Together with [`SIM_CRITICAL_CRATES`] this must cover every
+/// directory under `crates/`: [`check_crate_classification`] fails the
+/// check when a workspace member is in neither list, so a new crate
+/// cannot silently skip analysis.
+pub const HARNESS_CRATES: [&str; 8] = [
+    "bench",
+    "check",
+    "obs",
+    "prof",
+    "trace",
+    "types",
+    "workloads",
+    "xtask",
+];
+
 /// ID newtypes whose raw values must not be `as`-cast outside
 /// `crates/types` (the one place allowed to define conversions).
 const ID_NEWTYPES: [&str; 6] = ["Vpn", "Ppn", "Pid", "NodeId", "LineAddr", "SwapSlot"];
@@ -142,6 +162,12 @@ pub fn check_file(ctx: &mut FileContext<'_>, findings: &mut Vec<Finding>) {
             check_unit_hygiene(ctx, line, lineno, findings);
         }
     }
+    // The scope-aware passes: determinism taint-flow (sim-critical
+    // only) and ordering-sensitivity (everywhere), then the line-level
+    // unsafe audit (everywhere).
+    let toks = crate::lexer::tokenize(&ctx.lexed);
+    crate::dataflow::check_dataflow(ctx, &toks, sim_critical && !is_bench, findings);
+    crate::dataflow::check_unsafe_audit(ctx, findings);
 }
 
 fn check_determinism(
@@ -486,6 +512,64 @@ fn sim_config_fields(src: &str) -> Vec<(String, usize)> {
         }
     }
     fields
+}
+
+/// Every directory under `crates/` must be classified: either
+/// sim-critical (full determinism/panic rules) or harness (exempt from
+/// those two). An unclassified crate is a finding — previously the
+/// hand-maintained [`SIM_CRITICAL_CRATES`] list could silently go
+/// stale when a crate was added, leaving it unanalysed.
+///
+/// The reverse direction (a list entry whose directory no longer
+/// exists) is only checked when the root carries a `Cargo.toml`, so
+/// fixture mini-workspaces with a handful of crates stay valid.
+pub fn check_crate_classification(root: &Path, findings: &mut Vec<Finding>) {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return; // absence of crates/ is reported by the file walker
+    };
+    let mut members: Vec<String> = entries
+        .flatten()
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    members.sort();
+    for name in &members {
+        let classified =
+            SIM_CRITICAL_CRATES.contains(&name.as_str()) || HARNESS_CRATES.contains(&name.as_str());
+        if !classified {
+            findings.push(Finding {
+                rule: Rule::ConfigDrift,
+                file: format!("crates/{name}"),
+                line: 1,
+                message: format!(
+                    "crate `{name}` is not classified in crates/check/src/rules.rs; add it \
+                     to SIM_CRITICAL_CRATES (runs inside the simulated clock domain) or \
+                     HARNESS_CRATES (host-side tooling) so the checker knows which rules \
+                     apply"
+                ),
+            });
+        }
+    }
+    if root.join("Cargo.toml").exists() {
+        for (list, entry) in SIM_CRITICAL_CRATES
+            .iter()
+            .map(|c| ("SIM_CRITICAL_CRATES", *c))
+            .chain(HARNESS_CRATES.iter().map(|c| ("HARNESS_CRATES", *c)))
+        {
+            if !members.iter().any(|m| m == entry) {
+                findings.push(Finding {
+                    rule: Rule::ConfigDrift,
+                    file: "crates/check/src/rules.rs".to_string(),
+                    line: 1,
+                    message: format!(
+                        "{list} entry `{entry}` has no crates/{entry}/ directory; remove \
+                         the stale entry"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Parses `| field | --flag | … |` rows out of the docs table.

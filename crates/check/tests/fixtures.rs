@@ -250,6 +250,143 @@ fn prof_spans_pass_where_raw_host_clock_reads_fire() {
 }
 
 #[test]
+fn taint_flow_catches_laundering_the_identifier_ban_cannot_see() {
+    let report = check("taintflow");
+    // Lines 6 and 11 read `Instant::now()` directly — the v1 identifier
+    // ban sees those. Lines 7, 13 and 14 are where the *value* escapes:
+    // a tainted function return, a one-hop field sink, and a call-sink
+    // through that tainted function.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Determinism, "crates/hw/src/lib.rs", 6),
+            (Rule::DeterminismTaint, "crates/hw/src/lib.rs", 7),
+            (Rule::Determinism, "crates/hw/src/lib.rs", 11),
+            (Rule::DeterminismTaint, "crates/hw/src/lib.rs", 13),
+            (Rule::DeterminismTaint, "crates/hw/src/lib.rs", 14),
+        ],
+        "{}",
+        report.render()
+    );
+    // The sink lines carry NO banned identifier — a per-line lexer has
+    // nothing to match there. Only the dataflow walk reaches them.
+    let src = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures/taintflow/crates/hw/src/lib.rs"),
+    )
+    .expect("fixture readable");
+    for sink in [13, 14] {
+        let line = src.lines().nth(sink - 1).expect("sink line exists");
+        for banned in ["Instant", "SystemTime", "host_now_ns", "rand", "env::var"] {
+            assert!(
+                !line.contains(banned),
+                "line {sink} must be invisible to the identifier ban: {line}"
+            );
+        }
+    }
+    // Messages trace the flow back to its origin line.
+    assert!(
+        report.findings[3].message.contains("`Instant` (line 11)"),
+        "sink names its origin: {}",
+        report.findings[3].message
+    );
+    assert!(
+        report.findings[1].message.contains("host_probe"),
+        "return finding names the function: {}",
+        report.findings[1].message
+    );
+    assert_eq!(report.files_checked, 3);
+}
+
+#[test]
+fn ordering_sensitivity_fires_on_hash_iteration_with_escaping_writes() {
+    let report = check("orderflow");
+    // One finding, at the first loop's `for` header: it iterates a
+    // `HashMap` and appends to a string that outlives the loop. The
+    // `BTreeMap` twin and the loop-local-only `HashMap` loop are spared.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::OrderingSensitivity, "crates/obs/src/lib.rs", 6)],
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("hopp_ds::DetMap")
+            && report.findings[0].message.contains("`index`"),
+        "steer names the binding and the fix: {}",
+        report.findings[0].message
+    );
+    // obs is a harness crate: no blanket-HashMap determinism finding.
+    assert!(report.findings.iter().all(|f| f.rule != Rule::Determinism));
+    assert_eq!(report.files_checked, 3);
+}
+
+#[test]
+fn unsafe_audit_requires_an_adjacent_safety_comment() {
+    let report = check("unsafeaudit");
+    // The justified block on line 5 passes; the bare one on line 9 fires.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::UnsafeAudit, "crates/prof/src/lib.rs", 9)],
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("SAFETY:"),
+        "{}",
+        report.findings[0].message
+    );
+    assert_eq!(report.files_checked, 3);
+}
+
+#[test]
+fn unclassified_crates_are_config_drift() {
+    let report = check("driftcrate");
+    // `crates/mystery` exists on disk but neither SIM_CRITICAL_CRATES
+    // nor HARNESS_CRATES names it, so it would silently skip the
+    // sim-critical analyses; the classification check refuses that.
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    assert_eq!(
+        got,
+        vec![(Rule::ConfigDrift, "crates/mystery", 1)],
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.findings[0].message.contains("SIM_CRITICAL_CRATES")
+            && report.findings[0].message.contains("HARNESS_CRATES"),
+        "names both lists: {}",
+        report.findings[0].message
+    );
+    assert_eq!(report.files_checked, 3);
+}
+
+#[test]
+fn the_real_workspace_crate_list_is_fully_classified() {
+    // The classification lists in rules.rs are asserted against the
+    // actual `crates/` members at check time; this pins the inverse —
+    // every list entry corresponds to a real directory — against the
+    // real workspace this test runs in.
+    let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("crates/check sits two levels below the workspace root");
+    for name in hopp_check::SIM_CRITICAL_CRATES
+        .iter()
+        .chain(hopp_check::HARNESS_CRATES.iter())
+    {
+        assert!(
+            ws.join("crates").join(name).is_dir(),
+            "`{name}` is classified but crates/{name} does not exist"
+        );
+    }
+}
+
+#[test]
 fn missing_config_surfaces_are_reported_not_fatal() {
     // A root with no crates/ directory at all is an IO error ...
     let bogus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/does-not-exist");

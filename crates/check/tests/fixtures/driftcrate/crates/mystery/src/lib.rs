@@ -1,0 +1,5 @@
+//! Fixture: a crate directory that neither classification list names.
+
+pub fn answer() -> u64 {
+    42
+}

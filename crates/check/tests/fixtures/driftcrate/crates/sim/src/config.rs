@@ -1,0 +1,7 @@
+//! Fixture SimConfig: fully documented, no drift.
+
+/// Machine configuration.
+pub struct SimConfig {
+    /// Documented knob.
+    pub llc: usize,
+}

@@ -1,0 +1,18 @@
+//! Fixture: hash-order iteration writing artifact bytes.
+
+pub fn export(rows: &[(u64, u64)]) -> String {
+    let mut index = HashMap::new();
+    let mut out = String::new();
+    for (k, v) in &index {
+        out.push_str("row");
+    }
+    let mut sorted = BTreeMap::new();
+    for (k, v) in &sorted {
+        out.push_str("row");
+    }
+    for (k, v) in &index {
+        let mut local = String::new();
+        local.push_str("row");
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! Fixture CLI: implements --llc-kb.
+
+fn main() {
+    let _flags = ["--llc-kb"];
+}

@@ -1,0 +1,10 @@
+//! Fixture: unsafe blocks with and without SAFETY justification.
+
+pub fn read_ok(p: *const u8) -> u8 {
+    // SAFETY: the caller promises `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn read_bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,148 @@
+//! Property test: the lexer's per-line scope depths agree with naive
+//! brace counting on arbitrary token streams.
+//!
+//! The generator composes random programs from snippets whose true
+//! brace delta is known by construction — including strings, char
+//! literals, raw strings, line comments and *nested multi-line block
+//! comments* that all contain decoy braces. While generating, it
+//! tracks the ground-truth depth at the start of every emitted line;
+//! the lexer's [`hopp_check::lexer::Line::depth_start`] and the
+//! [`hopp_check::lexer::tokenize`] bracket stream must both reproduce
+//! it exactly. No external proptest crate (the build container is
+//! offline): a SplitMix64 generator with fixed seeds keeps the runs
+//! deterministic and the failures replayable by seed.
+
+use hopp_check::lexer;
+
+/// SplitMix64: tiny, well-distributed, and deterministic per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One generator snippet: lines plus each line's true brace delta.
+type Snippet = &'static [(&'static str, i32)];
+
+/// Snippets whose decoy braces (in literals and comments) must not
+/// move the depth; a few open or close real scopes.
+const SNIPPETS: &[Snippet] = &[
+    &[("let x = 1;", 0)],
+    &[("fn f() {", 1)],
+    &[("if a == b { let y = 2; }", 0)],
+    &[("let s = \"brace { in } string\";", 0)],
+    &[("let open = '{'; let close = '}';", 0)],
+    &[("// line comment { with } stray braces", 0)],
+    &[("let r = r#\"raw { \" } string\"#;", 0)],
+    &[("struct S { a: u64 }", 0)],
+    &[("let esc = \"escaped \\\" quote { \";", 0)],
+    &[
+        ("/* block { comment", 0),
+        ("still /* nested { */ junk", 0),
+        ("end } */ let z = 3;", 0),
+    ],
+    &[("match v {", 1), ("    _ => {}", 0), ("}", -1)],
+    &[
+        ("impl S {", 1),
+        ("    fn m(&self) -> u64 { self.a }", 0),
+        ("}", -1),
+    ],
+];
+
+/// The close-a-scope snippet, only legal while a scope is open.
+const CLOSE: Snippet = &[("}", -1)];
+
+/// Generates one program and its ground-truth per-line start depths.
+fn generate(seed: u64, len: usize) -> (String, Vec<i32>) {
+    let mut rng = Rng(seed);
+    let mut src = String::new();
+    let mut expected = Vec::new();
+    let mut depth: i32 = 0;
+    for _ in 0..len {
+        let snippet = if depth > 0 && rng.below(4) == 0 {
+            CLOSE
+        } else {
+            SNIPPETS[rng.below(SNIPPETS.len())]
+        };
+        if snippet
+            .iter()
+            .scan(depth, |d, (_, delta)| {
+                *d += delta;
+                Some(*d)
+            })
+            .any(|d| d < 0)
+        {
+            continue; // A bare close at depth 0 would be invalid Rust.
+        }
+        for (line, delta) in snippet {
+            expected.push(depth);
+            src.push_str(line);
+            src.push('\n');
+            depth += delta;
+        }
+    }
+    while depth > 0 {
+        expected.push(depth);
+        src.push_str("}\n");
+        depth -= 1;
+    }
+    // The trailing newline yields one final empty line at module level.
+    expected.push(0);
+    (src, expected)
+}
+
+#[test]
+fn line_depths_match_ground_truth_across_random_programs() {
+    for seed in 0..250u64 {
+        let (src, expected) = generate(seed, 40);
+        let lexed = lexer::lex(&src);
+        let got: Vec<i32> = lexed.lines.iter().map(|l| l.depth_start).collect();
+        assert_eq!(
+            got, expected,
+            "seed {seed}: depth_start diverged from generator truth\n{src}"
+        );
+    }
+}
+
+#[test]
+fn token_brackets_reproduce_the_same_depths() {
+    for seed in 0..250u64 {
+        let (src, expected) = generate(seed, 40);
+        let toks = lexer::tokenize(&lexer::lex(&src));
+        // Replay the token stream's `{`/`}` and sample the depth at the
+        // start of each line: it must match both the generator and the
+        // lexer's own depth_start (the dataflow walker trusts this).
+        let mut depth: i32 = 0;
+        let mut line = 1usize;
+        let mut got = Vec::with_capacity(expected.len());
+        for t in &toks {
+            while line <= t.line {
+                got.push(depth);
+                line += 1;
+            }
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        while got.len() < expected.len() {
+            got.push(depth);
+        }
+        assert_eq!(
+            got, expected,
+            "seed {seed}: tokenize bracket replay diverged\n{src}"
+        );
+        assert_eq!(depth, 0, "seed {seed}: program is balanced");
+    }
+}

@@ -40,23 +40,38 @@ fn bump() {
 /// The counting allocator. Zero-sized; wraps [`System`].
 pub struct CountingAlloc;
 
+// SAFETY: delegates every method verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the count bump allocates nothing itself
+// (`Cell<u64>` update, `try_with` absorbs TLS teardown).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract;
+    // forwarded unchanged to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`; `System` is the allocator that produced it.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same ptr/layout pair the caller vouched for.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` describe a live System
+    // allocation and `new_size` is non-zero per the trait contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
+        // SAFETY: same ptr/layout/new_size the caller vouched for.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s layout
+    // contract; forwarded unchanged to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc_zeroed(layout) }
     }
 }
